@@ -1,0 +1,3 @@
+module metro
+
+go 1.22

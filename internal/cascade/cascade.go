@@ -1,0 +1,164 @@
+// Package cascade implements METRO's router width cascading (paper,
+// Section 5.1): building a logical router with a wide datapath from
+// several narrow routing components operating in parallel.
+//
+// Two hooks make the members behave identically: *shared randomness* (all
+// members draw their random input bits from the same off-chip stream, so
+// identical connection requests produce identical stochastic allocations)
+// and a *wired-AND IN-USE consistency check* (each backward port's in-use
+// state is compared across members every cycle; any disagreement is
+// necessarily an error — a corrupted header reached some member — and the
+// connection is immediately shut down on all members, containing the
+// fault). End-to-end checksums still back-stop the rare cases the wired
+// AND cannot see.
+//
+// A logical word on a c-cascade of width-w routers is w*c bits: control
+// words (ROUTE, TURN, DROP, DATA-IDLE) are replicated to every member so
+// their connection state machines stay in lockstep, while DATA and
+// CHECKSUM payloads are bit-sliced across the members.
+package cascade
+
+import (
+	"fmt"
+
+	"metro/internal/core"
+	"metro/internal/prng"
+	"metro/internal/word"
+)
+
+// Group is a width-cascaded logical router: c member routers evaluated in
+// lockstep under one engine registration, with the consistency check run
+// combinationally after each evaluation. Only the Group is added to the
+// clock engine; members must not be registered individually.
+type Group struct {
+	name    string
+	members []*core.Router
+	kills   int
+}
+
+// NewGroup builds a cascade of c members with identical configuration,
+// each drawing random bits from a fork of the same shared stream.
+func NewGroup(name string, cfg core.Config, set core.Settings, c int, shared *prng.Shared) *Group {
+	if c < 1 {
+		panic("cascade: need at least one member")
+	}
+	g := &Group{name: name}
+	for k := 0; k < c; k++ {
+		r := core.NewRouter(fmt.Sprintf("%s.m%d", name, k), cfg, set, shared.Fork())
+		g.members = append(g.members, r)
+	}
+	return g
+}
+
+// Width returns the cascade width c.
+func (g *Group) Width() int { return len(g.members) }
+
+// Member returns the k-th member router.
+func (g *Group) Member(k int) *core.Router { return g.members[k] }
+
+// Kills returns how many connections the consistency check has shut down.
+func (g *Group) Kills() int { return g.kills }
+
+// Eval evaluates every member and then applies the wired-AND IN-USE
+// consistency check.
+func (g *Group) Eval(cycle uint64) {
+	for _, r := range g.members {
+		r.Eval(cycle)
+	}
+	g.check(cycle)
+}
+
+// Commit implements clock.Component.
+func (g *Group) Commit(cycle uint64) {
+	for _, r := range g.members {
+		r.Commit(cycle)
+	}
+}
+
+// check compares the members' backward-port allocation masks and kills any
+// connection the members disagree about, on every member.
+func (g *Group) check(cycle uint64) {
+	base := g.members[0].BackwardInUse()
+	agree := true
+	for _, r := range g.members[1:] {
+		if r.BackwardInUse() != base {
+			agree = false
+			break
+		}
+	}
+	if agree {
+		return
+	}
+	// Disagreement: find the offending forward ports (owners of any port
+	// whose state differs across members) and shut them down everywhere.
+	outputs := g.members[0].Config().Outputs
+	victims := map[int]bool{}
+	for bp := 0; bp < outputs; bp++ {
+		owners := map[int]bool{}
+		states := map[bool]bool{}
+		for _, r := range g.members {
+			fp := r.OwnerOf(bp)
+			states[fp >= 0] = true
+			if fp >= 0 {
+				owners[fp] = true
+			}
+		}
+		if len(states) > 1 || len(owners) > 1 {
+			for fp := range owners {
+				victims[fp] = true
+			}
+		}
+	}
+	for fp := range victims {
+		for _, r := range g.members {
+			r.KillConnection(cycle, fp)
+		}
+		g.kills++
+	}
+}
+
+// SplitWord slices a logical word of width w*c into the c member words.
+// Control words are replicated; data-bearing payloads are bit-sliced with
+// member 0 carrying the least significant w bits.
+func SplitWord(logical word.Word, c, w int) []word.Word {
+	out := make([]word.Word, c)
+	switch logical.Kind {
+	case word.Data, word.ChecksumWord:
+		for k := 0; k < c; k++ {
+			out[k] = word.Word{
+				Kind:    logical.Kind,
+				Payload: (logical.Payload >> uint(k*w)) & word.Mask(w),
+			}
+		}
+	default:
+		for k := 0; k < c; k++ {
+			out[k] = logical
+		}
+	}
+	return out
+}
+
+// MergeWords reassembles a logical word from the member words. The kinds
+// must agree (members in lockstep); on disagreement the Empty word is
+// returned, which upper layers treat as a protocol error.
+func MergeWords(members []word.Word, w int) word.Word {
+	if len(members) == 0 {
+		return word.Word{}
+	}
+	kind := members[0].Kind
+	for _, m := range members[1:] {
+		if m.Kind != kind {
+			return word.Word{}
+		}
+	}
+	switch kind {
+	case word.Data, word.ChecksumWord:
+		out := word.Word{Kind: kind}
+		for k, m := range members {
+			out.Payload |= (m.Payload & word.Mask(w)) << uint(k*w)
+		}
+		return out
+	default:
+		return members[0]
+	}
+}

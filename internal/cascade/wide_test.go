@@ -1,0 +1,100 @@
+package cascade
+
+import (
+	"testing"
+
+	"metro/internal/link"
+	"metro/internal/word"
+)
+
+func wideFixture(t *testing.T, lanes int) (*WideChannel, *WideChannel, []*link.Link) {
+	t.Helper()
+	links := make([]*link.Link, lanes)
+	aEnds := make([]*link.End, lanes)
+	bEnds := make([]*link.End, lanes)
+	for k := range links {
+		links[k] = link.New("lane", 1)
+		aEnds[k] = links[k].A()
+		bEnds[k] = links[k].B()
+	}
+	return NewWideChannel(aEnds, 4), NewWideChannel(bEnds, 4), links
+}
+
+func stepAll(links []*link.Link) {
+	for _, l := range links {
+		l.Eval(0)
+		l.Commit(0)
+	}
+}
+
+func TestWideChannelDataRoundTrip(t *testing.T) {
+	a, b, links := wideFixture(t, 2)
+	if a.Lanes() != 2 {
+		t.Fatalf("Lanes = %d", a.Lanes())
+	}
+	a.Send(word.Word{Kind: word.Data, Payload: 0xC5})
+	stepAll(links)
+	got := b.Recv()
+	if got.Kind != word.Data || got.Payload != 0xC5 {
+		t.Fatalf("wide recv = %v", got)
+	}
+	// Reverse direction.
+	b.Send(word.Word{Kind: word.ChecksumWord, Payload: 0x3A})
+	stepAll(links)
+	back := a.Recv()
+	if back.Kind != word.ChecksumWord || back.Payload != 0x3A {
+		t.Fatalf("reverse wide recv = %v", back)
+	}
+}
+
+func TestWideChannelControlReplication(t *testing.T) {
+	a, b, links := wideFixture(t, 3)
+	a.Send(word.MakeRoute(0b101, 3))
+	stepAll(links)
+	got := b.Recv()
+	if got.Kind != word.Route || got.Payload != 0b101 || got.Bits != 3 {
+		t.Fatalf("route through wide channel = %v", got)
+	}
+}
+
+func TestWideChannelBCBIsAnyLane(t *testing.T) {
+	a, b, links := wideFixture(t, 2)
+	// Assert BCB on one lane only (as a single member's teardown would).
+	links[1].B().SendBCB(true)
+	_ = b
+	stepAll(links)
+	if !a.RecvBCB() {
+		t.Fatal("single-lane BCB not visible on the wide channel")
+	}
+	stepAll(links)
+	if a.RecvBCB() {
+		t.Fatal("BCB stuck after deassertion")
+	}
+	// SendBCB drives every lane.
+	b.SendBCB(true)
+	stepAll(links)
+	if !a.RecvBCB() {
+		t.Fatal("wide SendBCB not visible")
+	}
+}
+
+func TestWideChannelLockstepViolation(t *testing.T) {
+	a, b, links := wideFixture(t, 2)
+	_ = a
+	// Drive the lanes inconsistently (a fault): merged word is Empty.
+	links[0].A().Send(word.Word{Kind: word.Data, Payload: 1})
+	links[1].A().Send(word.Word{Kind: word.DataIdle})
+	stepAll(links)
+	if got := b.Recv(); !got.IsEmpty() {
+		t.Fatalf("lockstep violation merged to %v, want Empty", got)
+	}
+}
+
+func TestWideChannelNeedsLanes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty lane list should panic")
+		}
+	}()
+	NewWideChannel(nil, 4)
+}

@@ -1,0 +1,78 @@
+// Package clock implements the synchronous simulation kernel underlying the
+// METRO network model.
+//
+// METRO networks are pipelined circuit-switched systems: every routing
+// component runs synchronously from a central clock, and data takes a small,
+// constant number of clock cycles to pass through each component (paper,
+// Section 3). The kernel models this directly as a two-phase clocked
+// engine. On every cycle each component is first asked to Eval — read the
+// values its inputs held at the end of the previous cycle, update private
+// state, and stage new output values — and then every component is asked to
+// Commit — latch the staged outputs so they become visible next cycle.
+//
+// Because components communicate only through link pipelines (package link),
+// whose outputs change only in Commit, the order in which components Eval
+// within a cycle is irrelevant: the model is a faithful register-transfer
+// abstraction of a synchronous circuit.
+package clock
+
+// Component is a clocked element of the simulated system.
+type Component interface {
+	// Eval reads inputs as of the end of the previous cycle, updates
+	// internal state, and stages outputs. It must not expose new output
+	// values to other components before Commit.
+	Eval(cycle uint64)
+	// Commit latches staged outputs, making them visible on the next
+	// cycle's Eval.
+	Commit(cycle uint64)
+}
+
+// Engine drives a set of components from a single central clock.
+type Engine struct {
+	components []Component
+	cycle      uint64
+}
+
+// New returns an empty engine at cycle 0.
+func New() *Engine { return &Engine{} }
+
+// Add registers components with the engine's clock.
+func (e *Engine) Add(cs ...Component) { e.components = append(e.components, cs...) }
+
+// Cycle returns the number of completed clock cycles.
+func (e *Engine) Cycle() uint64 { return e.cycle }
+
+// Components returns the number of registered components.
+func (e *Engine) Components() int { return len(e.components) }
+
+// Step advances the system by one clock cycle.
+func (e *Engine) Step() {
+	c := e.cycle
+	for _, comp := range e.components {
+		comp.Eval(c)
+	}
+	for _, comp := range e.components {
+		comp.Commit(c)
+	}
+	e.cycle++
+}
+
+// Run advances the system by n clock cycles.
+func (e *Engine) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil steps the clock until done reports true or max cycles have
+// elapsed (counted from the current cycle), whichever comes first. It
+// returns true if done reported true.
+func (e *Engine) RunUntil(done func() bool, max uint64) bool {
+	for i := uint64(0); i < max; i++ {
+		if done() {
+			return true
+		}
+		e.Step()
+	}
+	return done()
+}

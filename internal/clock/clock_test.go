@@ -1,0 +1,115 @@
+package clock
+
+import "testing"
+
+// probe records the order and cycle numbers of its Eval/Commit calls.
+type probe struct {
+	log  *[]string
+	name string
+}
+
+func (p *probe) Eval(cycle uint64)   { *p.log = append(*p.log, p.name+"E") }
+func (p *probe) Commit(cycle uint64) { *p.log = append(*p.log, p.name+"C") }
+
+func TestTwoPhaseOrdering(t *testing.T) {
+	var log []string
+	e := New()
+	e.Add(&probe{&log, "a"}, &probe{&log, "b"})
+	e.Step()
+	want := []string{"aE", "bE", "aC", "bC"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestCycleCount(t *testing.T) {
+	e := New()
+	if e.Cycle() != 0 {
+		t.Fatalf("fresh engine cycle = %d", e.Cycle())
+	}
+	e.Run(10)
+	if e.Cycle() != 10 {
+		t.Fatalf("after Run(10), cycle = %d", e.Cycle())
+	}
+	e.Step()
+	if e.Cycle() != 11 {
+		t.Fatalf("after Step, cycle = %d", e.Cycle())
+	}
+}
+
+type counter struct{ evals int }
+
+func (c *counter) Eval(uint64)   { c.evals++ }
+func (c *counter) Commit(uint64) {}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	c := &counter{}
+	e.Add(c)
+	ok := e.RunUntil(func() bool { return c.evals >= 5 }, 100)
+	if !ok {
+		t.Fatal("RunUntil should have succeeded")
+	}
+	if c.evals != 5 {
+		t.Fatalf("evals = %d, want 5", c.evals)
+	}
+	ok = e.RunUntil(func() bool { return false }, 7)
+	if ok {
+		t.Fatal("RunUntil should have failed")
+	}
+	if c.evals != 12 {
+		t.Fatalf("evals = %d, want 12 (5 + 7 budget)", c.evals)
+	}
+}
+
+func TestRunUntilImmediatelyDone(t *testing.T) {
+	e := New()
+	c := &counter{}
+	e.Add(c)
+	if !e.RunUntil(func() bool { return true }, 100) {
+		t.Fatal("immediately-done predicate should succeed")
+	}
+	if c.evals != 0 {
+		t.Fatalf("no cycles should have run, got %d", c.evals)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	e := New()
+	if e.Components() != 0 {
+		t.Fatal("fresh engine should have 0 components")
+	}
+	e.Add(&counter{}, &counter{}, &counter{})
+	if e.Components() != 3 {
+		t.Fatalf("Components() = %d, want 3", e.Components())
+	}
+}
+
+// cycleChecker verifies the cycle argument passed to hooks.
+type cycleChecker struct {
+	t    *testing.T
+	next uint64
+}
+
+func (c *cycleChecker) Eval(cycle uint64) {
+	if cycle != c.next {
+		c.t.Errorf("Eval cycle = %d, want %d", cycle, c.next)
+	}
+}
+func (c *cycleChecker) Commit(cycle uint64) {
+	if cycle != c.next {
+		c.t.Errorf("Commit cycle = %d, want %d", cycle, c.next)
+	}
+	c.next++
+}
+
+func TestCycleArgument(t *testing.T) {
+	e := New()
+	e.Add(&cycleChecker{t: t})
+	e.Run(25)
+}

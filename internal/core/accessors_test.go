@@ -1,0 +1,165 @@
+package core_test
+
+import (
+	"testing"
+
+	"metro/internal/core"
+	"metro/internal/word"
+)
+
+func TestRouterAccessors(t *testing.T) {
+	cfg := cfg4x4()
+	h := newHarness(cfg, dil1Settings(cfg), 1)
+	r := h.r
+	if r.Name() != "r0" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if r.Config().Inputs != 4 {
+		t.Errorf("Config.Inputs = %d", r.Config().Inputs)
+	}
+	if got := r.Settings(); got.Dilation != 1 {
+		t.Errorf("Settings.Dilation = %d", got.Dilation)
+	}
+	if r.Dilation() != 1 {
+		t.Errorf("Dilation = %d", r.Dilation())
+	}
+	if r.ForwardLink(0) == nil || r.BackwardLink(0) == nil {
+		t.Error("attached links not retrievable")
+	}
+	if r.ClosingCount() != 0 {
+		t.Errorf("fresh router ClosingCount = %d", r.ClosingCount())
+	}
+	// SetTracer(nil) restores the no-op tracer without panicking.
+	r.SetTracer(nil)
+	h.src[0].Send(word.MakeRoute(0, 2))
+	h.run()
+	h.run()
+}
+
+func TestApplySettingsLive(t *testing.T) {
+	cfg := cfg4x4()
+	h := newHarness(cfg, dil1Settings(cfg), 2)
+	set := h.r.Settings()
+	set.Dilation = 2
+	set.FastReclaim[0] = false
+	if err := h.r.ApplySettings(set); err != nil {
+		t.Fatal(err)
+	}
+	if h.r.Dilation() != 2 || h.r.Radix() != 2 {
+		t.Fatalf("dilation not applied: d=%d r=%d", h.r.Dilation(), h.r.Radix())
+	}
+	bad := h.r.Settings()
+	bad.Dilation = 8
+	if err := h.r.ApplySettings(bad); err == nil {
+		t.Fatal("invalid settings accepted")
+	}
+	// Per-port setters.
+	h.r.SetForwardEnabled(1, false)
+	h.r.SetBackwardEnabled(2, false)
+	h.r.SetFastReclaim(3, true)
+	got := h.r.Settings()
+	if got.ForwardEnabled[1] || got.BackwardEnabled[2] || !got.FastReclaim[3] {
+		t.Fatalf("port setters not applied: %+v", got)
+	}
+}
+
+func TestClosingCountDuringFlush(t *testing.T) {
+	cfg := cfg4x4()
+	cfg.DataPipe = 3 // slow flush so the closer is observable
+	h := newHarness(cfg, dil1Settings(cfg), 3)
+	seq := []word.Word{
+		word.MakeRoute(0, 2),
+		word.MakeData(1, 4),
+		word.MakeData(2, 4),
+		{Kind: word.Drop},
+	}
+	sawClosing := false
+	for i := 0; i < 14; i++ {
+		if i < len(seq) {
+			h.src[0].Send(seq[i])
+		}
+		if h.r.ClosingCount() > 0 {
+			sawClosing = true
+			if h.r.OwnerOf(0) != -2 {
+				t.Fatalf("flushing port owner marker = %d, want -2", h.r.OwnerOf(0))
+			}
+			if err := h.r.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.run()
+	}
+	if !sawClosing {
+		t.Fatal("detached closer never observed")
+	}
+	if h.r.ClosingCount() != 0 || h.r.OwnerOf(0) != -1 {
+		t.Fatal("closer did not complete")
+	}
+}
+
+func TestNopTracerMethods(t *testing.T) {
+	var tr core.NopTracer
+	tr.Allocated(0, "x", 0, 0)
+	tr.Blocked(0, "x", 0, 0, true)
+	tr.Released(0, "x", 0, 0)
+	tr.Reversed(0, "x", 0, true)
+}
+
+func TestInvariantsOnFreshAndActiveRouter(t *testing.T) {
+	cfg := cfg4x4()
+	h := newHarness(cfg, dil1Settings(cfg), 5)
+	if err := h.r.CheckInvariants(); err != nil {
+		t.Fatalf("fresh router: %v", err)
+	}
+	h.src[0].Send(word.MakeRoute(1, 2))
+	h.run()
+	h.src[0].Send(word.Word{Kind: word.DataIdle})
+	h.run()
+	if err := h.r.CheckInvariants(); err != nil {
+		t.Fatalf("connected router: %v", err)
+	}
+}
+
+func TestSelectionPolicySetter(t *testing.T) {
+	cfg := cfg4x4()
+	set := core.DefaultSettings(cfg) // dilation 2
+	for trial := 0; trial < 10; trial++ {
+		h := newHarness(cfg, set, uint32(trial+1))
+		h.r.SetSelectionPolicy(core.SelectFirstFree)
+		h.src[0].Send(word.MakeRoute(1, 1)) // direction 1: ports 2,3
+		h.run()
+		h.run()
+		if h.r.OwnerOf(2) != 0 {
+			t.Fatalf("first-free should always pick port 2, trial %d picked differently", trial)
+		}
+	}
+}
+
+func TestConfigValidateRemainingBranches(t *testing.T) {
+	bad := []core.Config{
+		{Inputs: 4, Outputs: 4, Width: 40, MaxDilation: 2, DataPipe: 1, RandomInputs: 1, ScanPaths: 1},
+		{Inputs: 4, Outputs: 4, Width: 4, MaxDilation: 2, HeaderWords: -1, DataPipe: 1, RandomInputs: 1, ScanPaths: 1},
+		{Inputs: 4, Outputs: 4, Width: 4, MaxDilation: 2, DataPipe: 1, MaxVTD: -1, RandomInputs: 1, ScanPaths: 1},
+		{Inputs: 4, Outputs: 4, Width: 4, MaxDilation: 2, DataPipe: 1, RandomInputs: 1, ScanPaths: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	set := core.DefaultSettings(cfg4x4())
+	mutations := []func(*core.Settings){
+		func(s *core.Settings) { s.Dilation = 3 },
+		func(s *core.Settings) { s.BackwardEnabled = s.BackwardEnabled[:1] },
+		func(s *core.Settings) { s.FastReclaim = s.FastReclaim[:1] },
+		func(s *core.Settings) { s.Swallow = s.Swallow[:1] },
+		func(s *core.Settings) { s.OffPortDrive = s.OffPortDrive[:1] },
+	}
+	for i, mutate := range mutations {
+		bad := set.Clone()
+		mutate(&bad)
+		if err := bad.Validate(cfg4x4()); err == nil {
+			t.Errorf("bad settings %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package core implements the METRO router: a dilated crossbar routing
+// component supporting half-duplex bidirectional, pipelined,
+// circuit-switched connections (paper, Sections 3-5).
+//
+// Each router is self-routing and handles dynamic message traffic. The
+// principal mechanisms modeled at clock-cycle granularity are:
+//
+//   - stochastic path selection: a connection requesting a logical output
+//     direction is switched to a randomly chosen available backward port in
+//     that direction; if none is available the connection is blocked;
+//   - connection reversal (TURN): an open connection may reverse its
+//     transmission direction any number of times; at each reversal the
+//     router injects STATUS and CHECKSUM words into the new stream,
+//     providing the information sources use for error localization;
+//   - fast path reclamation: a blocked connection either holds the path for
+//     a detailed reply (status + checksum at the blocking router) or is
+//     torn down immediately by a backward control bit (BCB), selectable per
+//     forward port and reconfigurable during operation;
+//   - pipelined connection setup (hw header words consumed per router) and
+//     data pipelining (dp pipeline stages through the router);
+//   - configurable dilation: the effective dilation may be set to any power
+//     of two up to the implementation maximum;
+//   - per-port enables for scan-driven fault masking.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config holds the architectural parameters of a METRO router
+// implementation, following Table 1 of the paper. These are fixed when the
+// component is "fabricated"; run-time options live in Settings.
+type Config struct {
+	// Inputs is i, the number of forward ports (a power of two).
+	Inputs int
+	// Outputs is o, the number of backward ports (a power of two,
+	// o >= MaxDilation).
+	Outputs int
+	// Width is w, the bit width of the data channel (w >= log2(o)).
+	Width int
+	// MaxDilation is max_d, the largest configurable dilation (a power of
+	// two, <= Outputs).
+	MaxDilation int
+	// HeaderWords is hw, the number of header words consumed per router.
+	// hw == 0 selects in-word bit stripping (RN1 style); hw >= 1 selects
+	// pipelined connection setup consuming hw words from the stream head.
+	HeaderWords int
+	// DataPipe is dp, the number of data pipeline stages inside the router
+	// (>= 1).
+	DataPipe int
+	// MaxVTD is max_vtd, the largest per-port variable turn delay the
+	// implementation supports (>= 0).
+	MaxVTD int
+	// RandomInputs is ri, the number of random input bit streams (>= 1).
+	RandomInputs int
+	// ScanPaths is sp, the number of scan paths / TAPs (>= 1).
+	ScanPaths int
+}
+
+// Validate checks the Table 1 parameter constraints.
+func (c Config) Validate() error {
+	switch {
+	case c.Inputs < 1 || !isPow2(c.Inputs):
+		return fmt.Errorf("core: Inputs (i) must be a power of two, got %d", c.Inputs)
+	case c.Outputs < 1 || !isPow2(c.Outputs):
+		return fmt.Errorf("core: Outputs (o) must be a power of two, got %d", c.Outputs)
+	case c.MaxDilation < 1 || !isPow2(c.MaxDilation):
+		return fmt.Errorf("core: MaxDilation (max_d) must be a power of two, got %d", c.MaxDilation)
+	case c.MaxDilation > c.Outputs:
+		return fmt.Errorf("core: MaxDilation %d exceeds Outputs %d", c.MaxDilation, c.Outputs)
+	case c.Width < log2(c.Outputs):
+		return fmt.Errorf("core: Width (w) %d < log2(Outputs) = %d", c.Width, log2(c.Outputs))
+	case c.Width > 32:
+		return fmt.Errorf("core: Width (w) %d exceeds the model's 32-bit payload limit", c.Width)
+	case c.HeaderWords < 0:
+		return fmt.Errorf("core: HeaderWords (hw) must be >= 0, got %d", c.HeaderWords)
+	case c.DataPipe < 1:
+		return fmt.Errorf("core: DataPipe (dp) must be >= 1, got %d", c.DataPipe)
+	case c.MaxVTD < 0:
+		return fmt.Errorf("core: MaxVTD (max_vtd) must be >= 0, got %d", c.MaxVTD)
+	case c.RandomInputs < 1:
+		return fmt.Errorf("core: RandomInputs (ri) must be >= 1, got %d", c.RandomInputs)
+	case c.ScanPaths < 1:
+		return fmt.Errorf("core: ScanPaths (sp) must be >= 1, got %d", c.ScanPaths)
+	}
+	return nil
+}
+
+// Radix returns the number of logically distinct output directions when the
+// router is configured with dilation d: r = o / d.
+func (c Config) Radix(d int) int { return c.Outputs / d }
+
+// DirBits returns the number of routing bits a router consumes per
+// connection at dilation d: log2(radix).
+func (c Config) DirBits(d int) int { return log2(c.Radix(d)) }
+
+// Settings holds the run-time configurable options of a router, following
+// Table 2 of the paper. All options are loadable over the scan interface
+// (package scan); port enables and fast reclamation may also be changed
+// while the router is in operation.
+type Settings struct {
+	// Dilation is the configured effective dilation d (a power of two,
+	// 1 <= d <= MaxDilation).
+	Dilation int
+	// ForwardEnabled enables each forward port (len Inputs). A disabled
+	// port ignores all traffic and can be isolated for scan testing.
+	ForwardEnabled []bool
+	// BackwardEnabled enables each backward port (len Outputs). Disabled
+	// ports are never allocated.
+	BackwardEnabled []bool
+	// FastReclaim selects fast path reclamation per forward port
+	// (len Inputs). When false the port holds blocked connections for a
+	// detailed status reply.
+	FastReclaim []bool
+	// Swallow selects, per forward port (len Inputs), whether a routing
+	// word whose bits are exhausted is removed from the stream. Only
+	// relevant when HeaderWords == 0.
+	Swallow []bool
+	// TurnDelay records the variable turn delay configured for each port
+	// (len Inputs+Outputs), each <= MaxVTD. The delay itself is realized
+	// by the attached link pipelines; the register exists so the scan
+	// interface can read and write the same configuration state the
+	// silicon holds.
+	TurnDelay []int
+	// OffPortDrive selects, per port (len Inputs+Outputs), whether a
+	// disabled port actively drives its output pins (used during boundary
+	// test of isolated ports).
+	OffPortDrive []bool
+}
+
+// DefaultSettings returns settings with every port enabled, fast
+// reclamation and swallow on, and dilation equal to MaxDilation.
+func DefaultSettings(c Config) Settings {
+	s := Settings{
+		Dilation:        c.MaxDilation,
+		ForwardEnabled:  make([]bool, c.Inputs),
+		BackwardEnabled: make([]bool, c.Outputs),
+		FastReclaim:     make([]bool, c.Inputs),
+		Swallow:         make([]bool, c.Inputs),
+		TurnDelay:       make([]int, c.Inputs+c.Outputs),
+		OffPortDrive:    make([]bool, c.Inputs+c.Outputs),
+	}
+	for i := range s.ForwardEnabled {
+		s.ForwardEnabled[i] = true
+		s.FastReclaim[i] = true
+		s.Swallow[i] = true
+	}
+	for i := range s.BackwardEnabled {
+		s.BackwardEnabled[i] = true
+	}
+	return s
+}
+
+// Validate checks the settings against the architectural parameters.
+func (s Settings) Validate(c Config) error {
+	switch {
+	case s.Dilation < 1 || !isPow2(s.Dilation):
+		return fmt.Errorf("core: Dilation must be a power of two, got %d", s.Dilation)
+	case s.Dilation > c.MaxDilation:
+		return fmt.Errorf("core: Dilation %d exceeds MaxDilation %d", s.Dilation, c.MaxDilation)
+	case len(s.ForwardEnabled) != c.Inputs:
+		return fmt.Errorf("core: ForwardEnabled length %d != Inputs %d", len(s.ForwardEnabled), c.Inputs)
+	case len(s.BackwardEnabled) != c.Outputs:
+		return fmt.Errorf("core: BackwardEnabled length %d != Outputs %d", len(s.BackwardEnabled), c.Outputs)
+	case len(s.FastReclaim) != c.Inputs:
+		return fmt.Errorf("core: FastReclaim length %d != Inputs %d", len(s.FastReclaim), c.Inputs)
+	case len(s.Swallow) != c.Inputs:
+		return fmt.Errorf("core: Swallow length %d != Inputs %d", len(s.Swallow), c.Inputs)
+	case len(s.TurnDelay) != c.Inputs+c.Outputs:
+		return fmt.Errorf("core: TurnDelay length %d != Inputs+Outputs %d", len(s.TurnDelay), c.Inputs+c.Outputs)
+	case len(s.OffPortDrive) != c.Inputs+c.Outputs:
+		return fmt.Errorf("core: OffPortDrive length %d != Inputs+Outputs %d", len(s.OffPortDrive), c.Inputs+c.Outputs)
+	}
+	for p, td := range s.TurnDelay {
+		if td < 0 || td > c.MaxVTD {
+			return fmt.Errorf("core: TurnDelay[%d] = %d outside [0, max_vtd=%d]", p, td, c.MaxVTD)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the settings.
+func (s Settings) Clone() Settings {
+	c := s
+	c.ForwardEnabled = append([]bool(nil), s.ForwardEnabled...)
+	c.BackwardEnabled = append([]bool(nil), s.BackwardEnabled...)
+	c.FastReclaim = append([]bool(nil), s.FastReclaim...)
+	c.Swallow = append([]bool(nil), s.Swallow...)
+	c.TurnDelay = append([]int(nil), s.TurnDelay...)
+	c.OffPortDrive = append([]bool(nil), s.OffPortDrive...)
+	return c
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

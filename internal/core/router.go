@@ -1,0 +1,709 @@
+package core
+
+import (
+	"fmt"
+
+	"metro/internal/link"
+	"metro/internal/prng"
+	"metro/internal/word"
+)
+
+// fpState enumerates the forward-port connection states.
+type fpState uint8
+
+const (
+	// fpIdle: no connection; the port watches for ROUTE words.
+	fpIdle fpState = iota
+	// fpHeader: connection allocated, consuming remaining setup header
+	// words (HeaderWords > 1).
+	fpHeader
+	// fpForward: connection open, data flowing source → destination.
+	fpForward
+	// fpReversed: connection open, data flowing destination → source.
+	fpReversed
+	// fpBlockedWait: blocked in detailed mode, swallowing the stream while
+	// waiting for the TURN that will trigger the status reply.
+	fpBlockedWait
+	// fpBlockedReply: blocked in detailed mode, transmitting
+	// STATUS/CHECKSUM/DROP back toward the source.
+	fpBlockedReply
+	// fpDrain: fast path reclamation — asserting BCB toward the source and
+	// swallowing the incoming stream until it ends.
+	fpDrain
+)
+
+// SelectionPolicy chooses how a router picks among the available backward
+// ports of a direction. The METRO architecture specifies SelectRandom
+// (stochastic path selection, the key to congestion and fault avoidance);
+// SelectFirstFree is a deterministic ablation used by the experiments to
+// quantify what the randomness buys.
+type SelectionPolicy int
+
+const (
+	// SelectRandom picks uniformly among available ports using the
+	// router's random input bits (the architecture's behavior).
+	SelectRandom SelectionPolicy = iota
+	// SelectFirstFree always picks the lowest-numbered available port.
+	SelectFirstFree
+)
+
+// maxOutQ bounds the elastic output buffer; exceeding it indicates a
+// protocol bug, not a congestion condition (see DESIGN.md).
+const maxOutQ = 64
+
+// fwdPort holds the per-forward-port connection state machine.
+type fwdPort struct {
+	state     fpState
+	bp        int // allocated backward port, -1 when none
+	hdrLeft   int // header words still to consume (fpHeader)
+	pipe      []word.Word
+	pipeIn    word.Word // word staged into the pipe this cycle
+	inject    []word.Word
+	outQ      []word.Word
+	ck        word.Checksum
+	revActive bool // reversed: downstream has begun transmitting
+	closing   bool // a synthesized DROP is flushing through the pipe
+	bcbOut    bool // asserting BCB toward the source
+}
+
+// closer is the detached tail of a closing forward connection: when the
+// input side of a connection sees its DROP (or the channel go idle), the
+// forward port is released immediately so a new connection request can be
+// accepted, while the crosspoint keeps flushing the in-flight pipeline
+// words — ending with a DROP — out the backward port. The backward port
+// stays busy until the flush completes.
+type closer struct {
+	fp       int // original owner, for tracing
+	bp       int
+	port     fwdPort
+	deadline int
+}
+
+// Router is one METRO routing component: a dilated i x o crossbar with
+// pipelined, circuit-switched, reversible connections. See the package
+// comment for the mechanism inventory.
+//
+// A Router is a clock.Component. It communicates exclusively through the
+// link ends attached to its ports, so any Eval order among routers is
+// valid.
+type Router struct {
+	name   string
+	cfg    Config
+	set    Settings
+	rng    prng.Source
+	tracer Tracer
+
+	fLinks []*link.End // forward ports: router is the B (downstream) end
+	bLinks []*link.End // backward ports: router is the A (upstream) end
+
+	fwd     []fwdPort
+	busyBy  []int // per backward port: owner fp, -1 free, -2 flushing close
+	closers []closer
+	policy  SelectionPolicy
+}
+
+// NewRouter constructs a router with the given architectural parameters,
+// run-time settings, and random bit source. It panics on invalid
+// parameters: router construction is network construction time, where
+// configuration errors are programming errors.
+func NewRouter(name string, cfg Config, set Settings, rng prng.Source) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("core: %s: %v", name, err))
+	}
+	if err := set.Validate(cfg); err != nil {
+		panic(fmt.Sprintf("core: %s: %v", name, err))
+	}
+	r := &Router{
+		name:   name,
+		cfg:    cfg,
+		set:    set.Clone(),
+		rng:    rng,
+		tracer: NopTracer{},
+		fLinks: make([]*link.End, cfg.Inputs),
+		bLinks: make([]*link.End, cfg.Outputs),
+		fwd:    make([]fwdPort, cfg.Inputs),
+		busyBy: make([]int, cfg.Outputs),
+	}
+	for i := range r.fwd {
+		r.fwd[i].bp = -1
+	}
+	for i := range r.busyBy {
+		r.busyBy[i] = -1
+	}
+	return r
+}
+
+// Name returns the router's identifier.
+func (r *Router) Name() string { return r.name }
+
+// Config returns the architectural parameters.
+func (r *Router) Config() Config { return r.cfg }
+
+// Settings returns a copy of the current run-time settings.
+func (r *Router) Settings() Settings { return r.set.Clone() }
+
+// SetSelectionPolicy overrides the output-selection policy (experiments
+// only; the architecture specifies SelectRandom).
+func (r *Router) SetSelectionPolicy(p SelectionPolicy) { r.policy = p }
+
+// SetTracer installs an event tracer (nil restores the no-op tracer).
+func (r *Router) SetTracer(t Tracer) {
+	if t == nil {
+		t = NopTracer{}
+	}
+	r.tracer = t
+}
+
+// AttachForward connects link end e to forward port fp.
+func (r *Router) AttachForward(fp int, e *link.End) { r.fLinks[fp] = e }
+
+// AttachBackward connects link end e to backward port bp.
+func (r *Router) AttachBackward(bp int, e *link.End) { r.bLinks[bp] = e }
+
+// ForwardLink returns the link end attached to forward port fp.
+func (r *Router) ForwardLink(fp int) *link.End { return r.fLinks[fp] }
+
+// BackwardLink returns the link end attached to backward port bp.
+func (r *Router) BackwardLink(bp int) *link.End { return r.bLinks[bp] }
+
+// ApplySettings replaces the run-time settings, as a scan UPDATE-DR of the
+// configuration register would. Connections already open are unaffected
+// except that newly disabled ports stop accepting new connections.
+func (r *Router) ApplySettings(set Settings) error {
+	if err := set.Validate(r.cfg); err != nil {
+		return err
+	}
+	r.set = set.Clone()
+	return nil
+}
+
+// SetForwardEnabled enables or disables forward port fp during operation.
+func (r *Router) SetForwardEnabled(fp int, on bool) { r.set.ForwardEnabled[fp] = on }
+
+// SetBackwardEnabled enables or disables backward port bp during operation.
+func (r *Router) SetBackwardEnabled(bp int, on bool) { r.set.BackwardEnabled[bp] = on }
+
+// SetFastReclaim selects the path reclamation mode of forward port fp
+// during operation (Section 5.1: the tradeoff may be handled dynamically).
+func (r *Router) SetFastReclaim(fp int, on bool) { r.set.FastReclaim[fp] = on }
+
+// Dilation returns the configured effective dilation.
+func (r *Router) Dilation() int { return r.set.Dilation }
+
+// Radix returns the number of logical output directions at the configured
+// dilation.
+func (r *Router) Radix() int { return r.cfg.Radix(r.set.Dilation) }
+
+// DirBits returns the routing bits consumed per connection.
+func (r *Router) DirBits() int { return r.cfg.DirBits(r.set.Dilation) }
+
+// Direction returns the logical direction served by backward port bp.
+func (r *Router) Direction(bp int) int { return bp / r.set.Dilation }
+
+// PortsFor returns the backward port range serving direction dir.
+func (r *Router) PortsFor(dir int) (lo, hi int) {
+	return dir * r.set.Dilation, (dir + 1) * r.set.Dilation
+}
+
+// ConnectionCount returns the number of forward ports holding open or
+// in-progress connections (including blocked/draining ones).
+func (r *Router) ConnectionCount() int {
+	n := 0
+	for i := range r.fwd {
+		if r.fwd[i].state != fpIdle {
+			n++
+		}
+	}
+	return n
+}
+
+// ClosingCount returns the number of detached connection flushes in
+// progress.
+func (r *Router) ClosingCount() int { return len(r.closers) }
+
+// BackwardInUse returns a bitmask of allocated backward ports, the analogue
+// of the IN-USE consistency signal used by width cascading (Section 5.1).
+func (r *Router) BackwardInUse() uint64 {
+	var m uint64
+	for bp, fp := range r.busyBy {
+		if fp >= 0 {
+			m |= 1 << uint(bp)
+		}
+	}
+	return m
+}
+
+// OwnerOf returns the forward port owning backward port bp, or -1.
+func (r *Router) OwnerOf(bp int) int { return r.busyBy[bp] }
+
+// KillConnection forcibly shuts down the connection on forward port fp, as
+// the cascade consistency check does when the wired-AND IN-USE signal
+// detects an allocation disagreement. The backward port is freed and the
+// port drains with BCB asserted so the source learns of the failure.
+func (r *Router) KillConnection(cycle uint64, fp int) {
+	p := &r.fwd[fp]
+	if p.state == fpIdle {
+		return
+	}
+	r.freeBackward(fp)
+	r.tracer.Released(cycle, r.name, fp, -1)
+	*p = fwdPort{state: fpDrain, bp: -1, bcbOut: true}
+}
+
+// request records a connection request observed during the input pass.
+type request struct {
+	fp      int
+	dir     int
+	recv    word.Word // the route word as received (checksummed pre-strip)
+	fwdWord word.Word // the word to forward downstream (Empty if consumed)
+}
+
+// Eval implements clock.Component. See DESIGN.md for the three-pass
+// structure: input handling, allocation, output staging.
+func (r *Router) Eval(cycle uint64) {
+	reqs := r.inputPass(cycle)
+	r.allocate(cycle, reqs)
+	r.outputPass(cycle)
+	r.runClosers(cycle)
+}
+
+// Commit implements clock.Component; routers latch all state during Eval.
+func (r *Router) Commit(cycle uint64) {}
+
+// inputPass reads every forward port's inputs, advances connection state
+// machines, and collects new connection requests.
+func (r *Router) inputPass(cycle uint64) []request {
+	var reqs []request
+	for fp := range r.fwd {
+		p := &r.fwd[fp]
+		if !r.set.ForwardEnabled[fp] || r.fLinks[fp] == nil {
+			continue
+		}
+		in := r.fLinks[fp].Recv()
+
+		// BCB arriving from downstream on the allocated backward port
+		// tears the connection down regardless of state (fast path
+		// reclamation propagating toward the source).
+		if p.bp >= 0 && r.bLinks[p.bp] != nil && r.bLinks[p.bp].RecvBCB() {
+			r.freeBackward(fp)
+			r.tracer.Released(cycle, r.name, fp, -1)
+			*p = fwdPort{state: fpDrain, bp: -1, bcbOut: true}
+			// Fall through to fpDrain handling with this cycle's input.
+		}
+
+		switch p.state {
+		case fpIdle:
+			if in.Kind == word.Route {
+				if req, ok := r.parseRoute(fp, in); ok {
+					reqs = append(reqs, req)
+				}
+			}
+			// HeaderPad and any stray words at an idle port are ignored.
+
+		case fpHeader:
+			if in.Kind == word.Drop || in.IsEmpty() {
+				// Upstream closed during setup: nothing has been
+				// forwarded yet, so release everything at once.
+				bp := p.bp
+				r.freeBackward(fp)
+				*p = fwdPort{state: fpIdle, bp: -1}
+				r.tracer.Released(cycle, r.name, fp, bp)
+				continue
+			}
+			p.ck.Add(in)
+			p.hdrLeft--
+			p.pipeIn = word.Word{}
+			if p.hdrLeft == 0 {
+				p.state = fpForward
+			}
+
+		case fpForward:
+			switch {
+			case in.Kind == word.Drop:
+				// The connection is closing. The input side releases
+				// immediately so a new request can arrive next cycle; the
+				// in-flight pipeline words flush out the backward port
+				// detachedly, terminated by a DROP.
+				r.detach(cycle, fp)
+			case in.IsEmpty():
+				if p.turnInPipe() {
+					// Post-TURN quiet: the reversal is in flight, not a
+					// dead source.
+					p.pipeIn = word.Word{}
+				} else {
+					// Upstream channel went idle: dead source; close as
+					// for a DROP.
+					r.detach(cycle, fp)
+				}
+			default:
+				p.ck.Add(in)
+				p.pipeIn = in
+			}
+
+		case fpReversed:
+			// The transmission prerogative lies with the far end, but the
+			// receiving end may still close: a DROP arriving on the
+			// forward channel tears the reversed path down hop by hop
+			// (needed when a source abandons a turned connection).
+			if in.Kind == word.Drop {
+				if r.bLinks[p.bp] != nil {
+					r.bLinks[p.bp].Send(word.Word{Kind: word.Drop})
+				}
+				bp := p.bp
+				r.freeBackward(fp)
+				*p = fwdPort{state: fpIdle, bp: -1}
+				r.tracer.Released(cycle, r.name, fp, bp)
+				continue
+			}
+			rin := word.Word{}
+			if r.bLinks[p.bp] != nil {
+				rin = r.bLinks[p.bp].Recv()
+			}
+			switch {
+			case p.closing:
+				p.pipeIn = word.Word{}
+			case rin.IsEmpty() && p.revActive:
+				// Downstream went silent after transmitting: treat as an
+				// implicit DROP (robustness against dead components).
+				p.pipeIn = word.Word{Kind: word.Drop}
+				p.closing = true
+			case rin.IsEmpty():
+				p.pipeIn = word.Word{} // reversal transient
+			default:
+				p.revActive = true
+				p.ck.Add(rin)
+				p.pipeIn = rin
+			}
+
+		case fpBlockedWait:
+			switch in.Kind {
+			case word.Turn:
+				flags := word.StatusBlocked
+				sum := p.ck.Sum()
+				p.inject = append([]word.Word{{Kind: word.Status, Payload: flags & word.Mask(r.cfg.Width)}},
+					word.SplitChecksum(sum, r.cfg.Width)...)
+				p.inject = append(p.inject, word.Word{Kind: word.Drop})
+				p.state = fpBlockedReply
+				r.tracer.Reversed(cycle, r.name, fp, true)
+			case word.Drop, word.Empty:
+				r.tracer.Released(cycle, r.name, fp, -1)
+				*p = fwdPort{state: fpIdle, bp: -1}
+			default:
+				p.ck.Add(in)
+			}
+
+		case fpBlockedReply:
+			// Input ignored; the reply drains in the output pass.
+
+		case fpDrain:
+			switch in.Kind {
+			case word.Drop, word.Empty:
+				*p = fwdPort{state: fpIdle, bp: -1}
+			default:
+				// Swallow the remains of the aborted stream.
+			}
+		}
+	}
+	return reqs
+}
+
+// parseRoute interprets a ROUTE word arriving at an idle forward port and
+// produces a connection request. It returns false for malformed words
+// (fewer routing bits than this router consumes), which are discarded —
+// the source-responsible protocol will time out and retry.
+func (r *Router) parseRoute(fp int, in word.Word) (request, bool) {
+	need := r.DirBits()
+	if int(in.Bits) < need {
+		return request{}, false
+	}
+	dir := int(in.Payload) & (r.Radix() - 1)
+	rem := int(in.Bits) - need
+	fwdWord := word.Word{}
+	if r.cfg.HeaderWords == 0 {
+		if rem > 0 {
+			fwdWord = word.MakeRoute(in.Payload>>uint(need), rem)
+		} else if !r.set.Swallow[fp] {
+			// Exhausted routing word forwarded as setup padding.
+			fwdWord = word.Word{Kind: word.HeaderPad, Payload: in.Payload >> uint(need)}
+		}
+	}
+	// With HeaderWords >= 1 the entire first word is consumed here and
+	// hw-1 further words are consumed in fpHeader.
+	return request{fp: fp, dir: dir, recv: in, fwdWord: fwdWord}, true
+}
+
+// allocate serves the cycle's connection requests: for each request, a
+// backward port in the requested direction is chosen uniformly at random
+// among the available ones using the router's random input bits. Requests
+// are served in forward-port order, which together with the shared random
+// stream makes allocation a deterministic function of (requests, random
+// bits) — the property width cascading depends on.
+func (r *Router) allocate(cycle uint64, reqs []request) {
+	for _, q := range reqs {
+		p := &r.fwd[q.fp]
+		lo, hi := r.PortsFor(q.dir)
+		var candidates []int
+		for bp := lo; bp < hi; bp++ {
+			if r.busyBy[bp] == -1 && r.set.BackwardEnabled[bp] && r.bLinks[bp] != nil && !r.bLinks[bp].Link().Dead() {
+				candidates = append(candidates, bp)
+			}
+		}
+		if len(candidates) == 0 {
+			r.block(cycle, q)
+			continue
+		}
+		bp := candidates[r.pick(len(candidates))]
+		r.busyBy[bp] = q.fp
+		p.bp = bp
+		p.ck.Reset()
+		p.ck.Add(q.recv)
+		p.pipe = make([]word.Word, r.cfg.DataPipe)
+		p.inject = nil
+		p.outQ = nil
+		p.revActive = false
+		p.closing = false
+		p.pipeIn = q.fwdWord
+		if r.cfg.HeaderWords > 1 {
+			p.state = fpHeader
+			p.hdrLeft = r.cfg.HeaderWords - 1
+		} else {
+			p.state = fpForward
+		}
+		r.tracer.Allocated(cycle, r.name, q.fp, bp)
+	}
+}
+
+// pick selects an index in [0, n) using ceil(log2(n)) random input bits
+// (or deterministically under the SelectFirstFree ablation).
+func (r *Router) pick(n int) int {
+	if n <= 1 || r.policy == SelectFirstFree {
+		return 0
+	}
+	bits := log2(n)
+	return int(r.rng.NextBits(bits)) % n
+}
+
+// block handles an unservable request according to the forward port's
+// reclamation mode.
+func (r *Router) block(cycle uint64, q request) {
+	p := &r.fwd[q.fp]
+	fast := r.set.FastReclaim[q.fp]
+	r.tracer.Blocked(cycle, r.name, q.fp, q.dir, fast)
+	if fast {
+		*p = fwdPort{state: fpDrain, bp: -1, bcbOut: true}
+		return
+	}
+	*p = fwdPort{state: fpBlockedWait, bp: -1}
+	p.ck.Add(q.recv)
+}
+
+// outputPass shifts connection pipelines and stages this cycle's link
+// outputs for every active forward port.
+func (r *Router) outputPass(cycle uint64) {
+	for fp := range r.fwd {
+		p := &r.fwd[fp]
+		switch p.state {
+		case fpHeader:
+			// Nothing flows downstream during setup consumption; keep the
+			// pipe shifting so residency stays dp cycles.
+			p.shiftPipe()
+
+		case fpForward:
+			out := p.shiftPipe()
+			// Idle fill is Empty here: during initial pipe priming the
+			// downstream port may be draining an aborted predecessor
+			// connection and needs to observe the channel go idle before
+			// the new stream begins. Established hops never see Empty
+			// because a post-reversal pipe is primed with DATA-IDLE.
+			sent := p.selectOutput(out, word.Word{})
+			if !sent.IsEmpty() && r.bLinks[p.bp] != nil {
+				r.bLinks[p.bp].Send(sent)
+			}
+			switch sent.Kind {
+			case word.Turn:
+				r.flip(cycle, fp, fpReversed)
+			case word.Drop:
+				r.release(cycle, fp)
+			}
+
+		case fpReversed:
+			out := p.shiftPipe()
+			sent := p.selectOutput(out, word.Word{Kind: word.DataIdle})
+			if r.fLinks[fp] != nil {
+				r.fLinks[fp].Send(sent)
+			}
+			// Hold the downstream half of the connection open.
+			if p.state == fpReversed && r.bLinks[p.bp] != nil {
+				r.bLinks[p.bp].Send(word.Word{Kind: word.DataIdle})
+			}
+			switch sent.Kind {
+			case word.Turn:
+				r.flip(cycle, fp, fpForward)
+			case word.Drop:
+				r.release(cycle, fp)
+			}
+
+		case fpBlockedReply:
+			if len(p.inject) > 0 {
+				w := p.inject[0]
+				p.inject = p.inject[1:]
+				if r.fLinks[fp] != nil {
+					r.fLinks[fp].Send(w)
+				}
+				if w.Kind == word.Drop {
+					r.tracer.Released(cycle, r.name, fp, -1)
+					*p = fwdPort{state: fpIdle, bp: -1}
+				}
+			}
+
+		case fpDrain:
+			if p.bcbOut && r.fLinks[fp] != nil {
+				r.fLinks[fp].SendBCB(true)
+			}
+		}
+	}
+}
+
+// turnInPipe reports whether a TURN is still flowing through the port's
+// pipeline (a reversal is in flight).
+func (p *fwdPort) turnInPipe() bool {
+	if p.pipeIn.Kind == word.Turn {
+		return true
+	}
+	for _, w := range p.pipe {
+		if w.Kind == word.Turn {
+			return true
+		}
+	}
+	for _, w := range p.outQ {
+		if w.Kind == word.Turn {
+			return true
+		}
+	}
+	return false
+}
+
+// shiftPipe advances the port's dp-stage pipeline by one cycle, inserting
+// the staged input and returning the word leaving the pipe.
+func (p *fwdPort) shiftPipe() word.Word {
+	n := len(p.pipe)
+	out := p.pipe[n-1]
+	copy(p.pipe[1:], p.pipe[:n-1])
+	p.pipe[0] = p.pipeIn
+	p.pipeIn = word.Word{}
+	return out
+}
+
+// selectOutput picks the word to transmit this cycle: pending injected
+// words (STATUS/CHECKSUM) first, then buffered stream words, then the pipe
+// output. A displaced pipe word is buffered; an absent word becomes idle
+// fill so the connection stays open.
+func (p *fwdPort) selectOutput(pipeOut, idle word.Word) word.Word {
+	if len(p.inject) > 0 {
+		w := p.inject[0]
+		p.inject = p.inject[1:]
+		p.buffer(pipeOut)
+		return w
+	}
+	if len(p.outQ) > 0 {
+		w := p.outQ[0]
+		p.outQ = p.outQ[1:]
+		p.buffer(pipeOut)
+		return w
+	}
+	if pipeOut.IsEmpty() {
+		return idle
+	}
+	return pipeOut
+}
+
+func (p *fwdPort) buffer(w word.Word) {
+	if w.IsEmpty() {
+		return
+	}
+	if len(p.outQ) >= maxOutQ {
+		panic("core: output elastic buffer overflow — protocol bug")
+	}
+	p.outQ = append(p.outQ, w)
+}
+
+// flip completes a connection reversal at this router: the just-ended
+// receive segment's status and checksum are queued for injection into the
+// new stream, and a fresh pipeline is started for the new direction.
+func (r *Router) flip(cycle uint64, fp int, to fpState) {
+	p := &r.fwd[fp]
+	sum := p.ck.Sum()
+	p.ck.Reset()
+	p.inject = append([]word.Word{{Kind: word.Status, Payload: 0}},
+		word.SplitChecksum(sum, r.cfg.Width)...)
+	p.outQ = nil
+	p.pipe = make([]word.Word, r.cfg.DataPipe)
+	if to == fpForward {
+		// The downstream hop is an established connection: filling the
+		// pipe with DATA-IDLE keeps the stream contiguous so the hop
+		// never mistakes the reversal transient for a closed channel.
+		for i := range p.pipe {
+			p.pipe[i] = word.Word{Kind: word.DataIdle}
+		}
+	}
+	p.pipeIn = word.Word{}
+	p.revActive = false
+	p.closing = false
+	p.state = to
+	r.tracer.Reversed(cycle, r.name, fp, to == fpReversed)
+}
+
+// detach moves forward port fp's connection tail to a detached closer and
+// frees the port for new requests. The backward port stays busy (marked
+// -2) until the closer's DROP has been transmitted downstream.
+func (r *Router) detach(cycle uint64, fp int) {
+	p := &r.fwd[fp]
+	c := closer{fp: fp, bp: p.bp, port: *p,
+		deadline: r.cfg.DataPipe + len(p.inject) + len(p.outQ) + 4}
+	c.port.pipeIn = word.Word{Kind: word.Drop}
+	if c.bp >= 0 {
+		r.busyBy[c.bp] = -2
+		r.closers = append(r.closers, c)
+	}
+	*p = fwdPort{state: fpIdle, bp: -1}
+}
+
+// runClosers advances every detached connection flush, freeing backward
+// ports as their DROPs go out.
+func (r *Router) runClosers(cycle uint64) {
+	kept := r.closers[:0]
+	for i := range r.closers {
+		c := &r.closers[i]
+		out := c.port.shiftPipe()
+		sent := c.port.selectOutput(out, word.Word{})
+		if !sent.IsEmpty() && r.bLinks[c.bp] != nil {
+			r.bLinks[c.bp].Send(sent)
+		}
+		c.deadline--
+		if sent.Kind == word.Drop || c.deadline <= 0 {
+			r.busyBy[c.bp] = -1
+			r.tracer.Released(cycle, r.name, c.fp, c.bp)
+			continue
+		}
+		kept = append(kept, *c)
+	}
+	r.closers = kept
+}
+
+// release closes the connection on forward port fp after its DROP has been
+// transmitted.
+func (r *Router) release(cycle uint64, fp int) {
+	p := &r.fwd[fp]
+	bp := p.bp
+	r.freeBackward(fp)
+	*p = fwdPort{state: fpIdle, bp: -1}
+	r.tracer.Released(cycle, r.name, fp, bp)
+}
+
+func (r *Router) freeBackward(fp int) {
+	p := &r.fwd[fp]
+	if p.bp >= 0 {
+		r.busyBy[p.bp] = -1
+		p.bp = -1
+	}
+}

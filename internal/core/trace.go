@@ -1,0 +1,36 @@
+package core
+
+// Tracer receives router-level events for debugging, experiments and the
+// example programs. All methods are invoked during Eval; implementations
+// must not mutate simulation state. A nil tracer disables tracing.
+type Tracer interface {
+	// Allocated reports a successful connection setup: forward port fp was
+	// switched to backward port bp.
+	Allocated(cycle uint64, router string, fp, bp int)
+	// Blocked reports a connection request that found no available
+	// backward port in direction dir. fast reports whether fast path
+	// reclamation (BCB) or a detailed reply will handle it.
+	Blocked(cycle uint64, router string, fp, dir int, fast bool)
+	// Released reports that forward port fp's connection closed and its
+	// backward port (bp, or -1 if the connection was blocked) was freed.
+	Released(cycle uint64, router string, fp, bp int)
+	// Reversed reports a connection reversal completing at this router.
+	// towardSource is true when data will now flow toward the original
+	// source.
+	Reversed(cycle uint64, router string, fp int, towardSource bool)
+}
+
+// NopTracer is a Tracer that ignores all events.
+type NopTracer struct{}
+
+// Allocated implements Tracer.
+func (NopTracer) Allocated(uint64, string, int, int) {}
+
+// Blocked implements Tracer.
+func (NopTracer) Blocked(uint64, string, int, int, bool) {}
+
+// Released implements Tracer.
+func (NopTracer) Released(uint64, string, int, int) {}
+
+// Reversed implements Tracer.
+func (NopTracer) Reversed(uint64, string, int, bool) {}

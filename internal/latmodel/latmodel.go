@@ -1,0 +1,183 @@
+// Package latmodel implements the closed-form application-latency model of
+// the METRO paper (Table 4) and regenerates its evaluation tables:
+//
+//   - Table 3: t20,32 — the latency to deliver a 5-word (20-byte) message
+//     across a 32-node multibutterfly — for every METRO implementation
+//     point the paper lists (gate array, standard cell, full custom,
+//     cascades, hw/dp variants);
+//   - Table 5: the same t20,32 estimate for seven contemporary routing
+//     technologies, with the assumptions documented per row.
+//
+// The relations (Table 4):
+//
+//	vtd       = ceil((t_io + t_wire) / t_clk)        interconnect delay, cycles
+//	t_on_chip = t_clk * dp                            time data traverses chip
+//	t_stg     = t_on_chip + vtd * t_clk               chip-to-chip latency
+//	hbits     = hw*w*c*stages                 (hw>0)  routing bits
+//	          = ceil(sum(log2 r_s)/w)*w*c     (hw=0)
+//	t20,32    = stages*t_stg + (20*8 + hbits)*t_bit
+//
+// where t_bit = t_clk/(w*c) is the per-bit transfer time of a (possibly
+// cascaded) w-bit channel.
+package latmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// TWire is the wire delay the paper assumes for Table 3 (ns).
+const TWire = 3.0
+
+// Implementation is one METRO implementation point: a technology binding
+// of the architectural parameters.
+type Implementation struct {
+	// Name and Tech label the row as in Table 3.
+	Name string
+	Tech string
+	// TClk and TIo are the clock period and I/O (pad) latency in ns.
+	TClk, TIo float64
+	// Width is w, the channel width of one component.
+	Width int
+	// Cascade is c, the number of width-cascaded components per logical
+	// router (1 = no cascading).
+	Cascade int
+	// DP and HW are the data-pipelining and header-word parameters.
+	DP, HW int
+	// StageBits lists log2(radix) per network stage, defining both the
+	// stage count and the routing bits consumed.
+	StageBits []int
+}
+
+// Stages returns the number of routing stages.
+func (im Implementation) Stages() int { return len(im.StageBits) }
+
+// VTD returns the interconnect delay in clock cycles.
+func (im Implementation) VTD() int {
+	return int(math.Ceil((im.TIo + TWire) / im.TClk))
+}
+
+// TOnChip returns the time data takes to traverse the component (ns).
+func (im Implementation) TOnChip() float64 { return im.TClk * float64(im.DP) }
+
+// TStg returns the chip-to-chip pipeline latency per stage (ns).
+func (im Implementation) TStg() float64 {
+	return im.TOnChip() + float64(im.VTD())*im.TClk
+}
+
+// EffWidth returns the logical channel width w*c of the cascaded router.
+func (im Implementation) EffWidth() int { return im.Width * im.Cascade }
+
+// TBit returns the transfer time per bit (ns) on the cascaded channel.
+func (im Implementation) TBit() float64 {
+	return im.TClk / float64(im.EffWidth())
+}
+
+// HBits returns the routing bits consumed by the header across the
+// network, per Table 4.
+func (im Implementation) HBits() int {
+	if im.HW > 0 {
+		return im.HW * im.Width * im.Cascade * im.Stages()
+	}
+	sum := 0
+	for _, b := range im.StageBits {
+		sum += b
+	}
+	words := (sum + im.Width - 1) / im.Width
+	return words * im.Width * im.Cascade
+}
+
+// MessageLatency returns the unloaded network latency (ns) to deliver a
+// message of the given payload size across the network.
+func (im Implementation) MessageLatency(payloadBytes int) float64 {
+	bits := float64(payloadBytes*8 + im.HBits())
+	return float64(im.Stages())*im.TStg() + bits*im.TBit()
+}
+
+// T2032 returns t20,32: the 20-byte, 32-node figure of merit from the
+// paper's tables.
+func (im Implementation) T2032() float64 { return im.MessageLatency(20) }
+
+// TBitLabel renders the t_bit column as the paper prints it, e.g.
+// "25 ns/4 b".
+func (im Implementation) TBitLabel() string {
+	return fmt.Sprintf("%g ns/%d b", im.TClk, im.EffWidth())
+}
+
+// metrojrStages is the 32-node multibutterfly for 4x4 routers: three
+// dilation-2 radix-2 stages and a dilation-1 radix-4 final stage.
+var metrojrStages = []int{1, 1, 1, 2}
+
+// metro8Stages is the 32-node network for 8x8 routers: a dilation-2
+// radix-4 stage and a dilation-1 radix-8 final stage.
+var metro8Stages = []int{2, 3}
+
+// Table3 returns the implementation points of the paper's Table 3, in
+// paper order.
+func Table3() []Implementation {
+	ga := "1.2u Gate Array"
+	sc := "0.8u Std. Cell"
+	fc := "0.8u Full Custom"
+	return []Implementation{
+		{Name: "METROJR-ORBIT", Tech: ga, TClk: 25, TIo: 10, Width: 4, Cascade: 1, DP: 1, HW: 0, StageBits: metrojrStages},
+		{Name: "2-cascade", Tech: ga, TClk: 25, TIo: 10, Width: 4, Cascade: 2, DP: 1, HW: 0, StageBits: metrojrStages},
+		{Name: "4-cascade", Tech: ga, TClk: 25, TIo: 10, Width: 4, Cascade: 4, DP: 1, HW: 0, StageBits: metrojrStages},
+		{Name: "METROJR w=8", Tech: ga, TClk: 25, TIo: 10, Width: 8, Cascade: 1, DP: 1, HW: 0, StageBits: metrojrStages},
+		{Name: "METROJR", Tech: sc, TClk: 10, TIo: 5, Width: 4, Cascade: 1, DP: 1, HW: 0, StageBits: metrojrStages},
+		{Name: "2-cascade", Tech: sc, TClk: 10, TIo: 5, Width: 4, Cascade: 2, DP: 1, HW: 0, StageBits: metrojrStages},
+		{Name: "4-cascade", Tech: sc, TClk: 10, TIo: 5, Width: 4, Cascade: 4, DP: 1, HW: 0, StageBits: metrojrStages},
+		{Name: "METRO i=o=8 w=4", Tech: sc, TClk: 10, TIo: 5, Width: 4, Cascade: 1, DP: 1, HW: 0, StageBits: metro8Stages},
+		{Name: "METROJR", Tech: fc, TClk: 5, TIo: 3, Width: 4, Cascade: 1, DP: 1, HW: 0, StageBits: metrojrStages},
+		{Name: "METRO i=o=8 w=4", Tech: fc, TClk: 5, TIo: 3, Width: 4, Cascade: 1, DP: 1, HW: 0, StageBits: metro8Stages},
+		{Name: "METROJR dp=2", Tech: fc, TClk: 2, TIo: 3, Width: 4, Cascade: 1, DP: 2, HW: 0, StageBits: metrojrStages},
+		{Name: "METROJR hw=1", Tech: fc, TClk: 2, TIo: 3, Width: 4, Cascade: 1, DP: 1, HW: 1, StageBits: metrojrStages},
+		{Name: "2-cascade hw=1", Tech: fc, TClk: 2, TIo: 3, Width: 4, Cascade: 2, DP: 1, HW: 1, StageBits: metrojrStages},
+		{Name: "METROJR hw=1 w=8", Tech: fc, TClk: 2, TIo: 3, Width: 8, Cascade: 1, DP: 1, HW: 1, StageBits: metrojrStages},
+		{Name: "METRO i=o=8 hw=2 w=4", Tech: fc, TClk: 2, TIo: 3, Width: 4, Cascade: 1, DP: 1, HW: 2, StageBits: metro8Stages},
+		{Name: "4-cascade hw=2", Tech: fc, TClk: 2, TIo: 3, Width: 4, Cascade: 4, DP: 1, HW: 2, StageBits: metro8Stages},
+	}
+}
+
+// PaperT2032 lists the t20,32 values printed in the paper's Table 3, in
+// the same order as Table3(), for verification.
+var PaperT2032 = []float64{
+	1250, 750, 500, 725,
+	500, 300, 200, 460,
+	270, 240,
+	124, 120, 80, 80, 104, 44,
+}
+
+// PaperTStg lists the t_stg column of Table 3 (ns).
+var PaperTStg = []float64{
+	50, 50, 50, 50,
+	20, 20, 20, 20,
+	15, 15,
+	10, 8, 8, 8, 8, 8,
+}
+
+// ScaledStageBits returns the per-stage routing bits of an N-endpoint
+// multibutterfly built METROJR-style: radix-2 dilation-2 stages feeding a
+// radix-4 dilation-1 final stage (the construction behind the t20,32
+// rows). N must be a power of two, at least 8.
+func ScaledStageBits(endpoints int) []int {
+	if endpoints < 8 || endpoints&(endpoints-1) != 0 {
+		panic(fmt.Sprintf("latmodel: endpoints %d must be a power of two >= 8", endpoints))
+	}
+	k := 0
+	for 1<<uint(k) < endpoints {
+		k++
+	}
+	bits := make([]int, 0, k-1)
+	for i := 0; i < k-2; i++ {
+		bits = append(bits, 1)
+	}
+	return append(bits, 2)
+}
+
+// Scaled returns a copy of the implementation re-targeted at an
+// N-endpoint network, for studying how t20,N grows with machine size
+// (logarithmically: one t_stg plus a few header bits per factor of two).
+func (im Implementation) Scaled(endpoints int) Implementation {
+	im.StageBits = ScaledStageBits(endpoints)
+	return im
+}

@@ -1,0 +1,146 @@
+package latmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable3MatchesPaperExactly is the core reproduction check: the Table 4
+// latency model regenerates every t20,32 value in the paper's Table 3.
+func TestTable3MatchesPaperExactly(t *testing.T) {
+	rows := Table3()
+	if len(rows) != len(PaperT2032) {
+		t.Fatalf("row count %d != paper %d", len(rows), len(PaperT2032))
+	}
+	for i, im := range rows {
+		got := im.T2032()
+		if math.Abs(got-PaperT2032[i]) > 1e-9 {
+			t.Errorf("row %d (%s %s): t20,32 = %.1f ns, paper says %.1f ns",
+				i, im.Tech, im.Name, got, PaperT2032[i])
+		}
+	}
+}
+
+func TestTable3TStgMatchesPaper(t *testing.T) {
+	for i, im := range Table3() {
+		if got := im.TStg(); math.Abs(got-PaperTStg[i]) > 1e-9 {
+			t.Errorf("row %d (%s %s): t_stg = %.1f ns, paper says %.1f ns",
+				i, im.Tech, im.Name, got, PaperTStg[i])
+		}
+	}
+}
+
+func TestTable4Relations(t *testing.T) {
+	// Spot-check each relation against hand-computed values for
+	// METROJR-ORBIT.
+	im := Table3()[0]
+	if im.VTD() != 1 {
+		t.Errorf("vtd = %d, want 1", im.VTD())
+	}
+	if im.TOnChip() != 25 {
+		t.Errorf("t_on_chip = %f, want 25", im.TOnChip())
+	}
+	if im.TStg() != 50 {
+		t.Errorf("t_stg = %f, want 50", im.TStg())
+	}
+	if im.HBits() != 8 {
+		t.Errorf("hbits = %d, want 8 (5 routing bits padded to 2 nibbles)", im.HBits())
+	}
+	if im.TBit() != 6.25 {
+		t.Errorf("t_bit = %f, want 6.25 ns/bit", im.TBit())
+	}
+	if im.TBitLabel() != "25 ns/4 b" {
+		t.Errorf("t_bit label = %q", im.TBitLabel())
+	}
+}
+
+func TestHBitsHWPositive(t *testing.T) {
+	im := Implementation{Width: 4, Cascade: 2, HW: 1, StageBits: []int{1, 1, 1, 2}}
+	if got := im.HBits(); got != 32 {
+		t.Errorf("hbits = %d, want hw*w*c*stages = 32", got)
+	}
+}
+
+func TestCascadeScalesBandwidthNotStages(t *testing.T) {
+	base := Table3()[0]
+	casc := Table3()[1]
+	if base.TStg() != casc.TStg() {
+		t.Error("cascading must not change per-stage latency")
+	}
+	if casc.TBit()*2 != base.TBit() {
+		t.Error("2-cascade should halve per-bit time")
+	}
+	if casc.T2032() >= base.T2032() {
+		t.Error("cascading should reduce message latency")
+	}
+}
+
+func TestMessageLatencyMonotoneInSize(t *testing.T) {
+	f := func(a, b uint8) bool {
+		im := Table3()[0]
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return im.MessageLatency(x) <= im.MessageLatency(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVTDGrowsWithWireAndShrinksWithClock(t *testing.T) {
+	fast := Implementation{TClk: 2, TIo: 3, Width: 4, Cascade: 1, DP: 1, StageBits: []int{1}}
+	slow := Implementation{TClk: 25, TIo: 3, Width: 4, Cascade: 1, DP: 1, StageBits: []int{1}}
+	if fast.VTD() <= slow.VTD() {
+		t.Errorf("faster clocks should need more wire pipeline stages: %d vs %d",
+			fast.VTD(), slow.VTD())
+	}
+}
+
+// TestTable5WithinTolerance checks every baseline's computed estimates
+// against the paper's printed values within 15%.
+func TestTable5WithinTolerance(t *testing.T) {
+	for _, b := range Table5() {
+		lo, hi := b.Min(), b.Max()
+		if rel(lo, b.PaperMin) > 0.15 {
+			t.Errorf("%s: computed min %.0f ns vs paper %.0f ns", b.Name, lo, b.PaperMin)
+		}
+		if rel(hi, b.PaperMax) > 0.15 {
+			t.Errorf("%s: computed max %.0f ns vs paper %.0f ns", b.Name, hi, b.PaperMax)
+		}
+		if lo > hi {
+			t.Errorf("%s: min %.0f > max %.0f", b.Name, lo, hi)
+		}
+	}
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / b
+}
+
+// TestMETROBeatsContemporaries reproduces the paper's comparison claim:
+// even the minimal gate-array METRO implementation (1250 ns) compares
+// favorably with most of the Table 5 field, and the custom implementations
+// beat all of it.
+func TestMETROBeatsContemporaries(t *testing.T) {
+	orbit := Table3()[0].T2032()
+	custom := Table3()[11].T2032() // METROJR hw=1 full custom
+	slower := 0
+	for _, b := range Table5() {
+		if b.PaperMax > orbit {
+			slower++
+		}
+		if custom >= b.PaperMin {
+			t.Errorf("full-custom METRO (%.0f ns) should beat %s (min %.0f ns)",
+				custom, b.Name, b.PaperMin)
+		}
+	}
+	if slower < 4 {
+		t.Errorf("only %d of %d contemporaries slower than METROJR-ORBIT", slower, len(Table5()))
+	}
+}

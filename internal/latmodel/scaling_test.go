@@ -1,0 +1,62 @@
+package latmodel
+
+import "testing"
+
+func TestScaledStageBits(t *testing.T) {
+	cases := map[int][]int{
+		8:   {1, 2},
+		16:  {1, 1, 2},
+		32:  {1, 1, 1, 2},
+		256: {1, 1, 1, 1, 1, 1, 2},
+	}
+	for n, want := range cases {
+		got := ScaledStageBits(n)
+		if len(got) != len(want) {
+			t.Fatalf("ScaledStageBits(%d) = %v, want %v", n, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ScaledStageBits(%d) = %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestScaledStageBitsRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 4, 7, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ScaledStageBits(%d) should panic", n)
+				}
+			}()
+			ScaledStageBits(n)
+		}()
+	}
+}
+
+func TestScalingIsLogarithmic(t *testing.T) {
+	im := Table3()[0] // METROJR-ORBIT
+	prev := im.Scaled(32).T2032()
+	for n := 64; n <= 4096; n *= 2 {
+		cur := im.Scaled(n).T2032()
+		growth := cur - prev
+		// Each doubling adds one stage: t_stg (50 ns) plus at most one
+		// extra header word's transfer time.
+		if growth < im.TStg() || growth > im.TStg()+8*im.TBit()+1 {
+			t.Fatalf("N=%d: growth %.1f ns per doubling outside [t_stg, t_stg+word]", n, growth)
+		}
+		prev = cur
+	}
+	// 32x more endpoints costs well under 2x the latency.
+	if r := im.Scaled(1024).T2032() / im.Scaled(32).T2032(); r > 1.6 {
+		t.Fatalf("scaling 32->1024 endpoints multiplied latency by %.2f", r)
+	}
+}
+
+func TestScaled32MatchesTable3(t *testing.T) {
+	im := Table3()[0]
+	if im.Scaled(32).T2032() != im.T2032() {
+		t.Fatal("Scaled(32) should reproduce the Table 3 row")
+	}
+}

@@ -1,0 +1,174 @@
+// Package link models the point-to-point interconnect between METRO routing
+// components and network endpoints.
+//
+// METRO pipelines data across the wires between routers: each link behaves
+// as a configurable number of pipeline registers in each direction (the
+// paper's Variable Turn Delay, Section 5.1 — "we can model the wire between
+// two components as a number of pipeline registers"). A Link therefore
+// carries, per clock cycle and per direction, one word.Word plus the
+// out-of-band backward control bit (BCB) used for fast path reclamation.
+//
+// A Link has two ends, A and B. By convention the A end attaches to the
+// upstream element (an endpoint's injection port or a router's backward
+// port) and the B end to the downstream element (a router's forward port or
+// an endpoint's delivery port). Forward traffic (source toward destination)
+// flows A→B; reversed-connection traffic and the BCB flow B→A.
+//
+// Links implement clock.Component: ends stage values during Eval via Send /
+// SendBCB, and the pipelines shift at Commit, so values become visible to
+// the far end after the configured delay.
+//
+// Fault injection hooks (Corruptor functions and Kill) model broken or
+// noisy wires for the fault-tolerance experiments.
+package link
+
+import (
+	"fmt"
+
+	"metro/internal/word"
+)
+
+// Corruptor transforms words as they exit a link, modeling a faulty wire.
+// A nil Corruptor leaves the link healthy.
+type Corruptor func(word.Word) word.Word
+
+// slot is the content of one pipeline register: a word plus the BCB.
+type slot struct {
+	w   word.Word
+	bcb bool
+}
+
+// pipe is one direction of a link: delay pipeline registers plus the input
+// value staged during the current cycle.
+type pipe struct {
+	regs   []slot
+	staged slot
+}
+
+func newPipe(delay int) pipe { return pipe{regs: make([]slot, delay)} }
+
+func (p *pipe) out() slot { return p.regs[len(p.regs)-1] }
+
+func (p *pipe) shift() {
+	copy(p.regs[1:], p.regs[:len(p.regs)-1])
+	p.regs[0] = p.staged
+	p.staged = slot{}
+}
+
+// Link is a bidirectional, pipelined chip-to-chip connection.
+type Link struct {
+	name      string
+	ab        pipe // words and BCB traveling A→B
+	ba        pipe // words and BCB traveling B→A
+	corruptAB Corruptor
+	corruptBA Corruptor
+	dead      bool
+}
+
+// New returns a link whose wires contribute delay pipeline stages in each
+// direction (the paper's vtd; delay must be >= 1).
+func New(name string, delay int) *Link {
+	if delay < 1 {
+		panic(fmt.Sprintf("link %s: delay must be >= 1, got %d", name, delay))
+	}
+	return &Link{name: name, ab: newPipe(delay), ba: newPipe(delay)}
+}
+
+// Name returns the link's identifier (used in traces and fault plans).
+func (l *Link) Name() string { return l.name }
+
+// Delay returns the pipeline depth per direction.
+func (l *Link) Delay() int { return len(l.ab.regs) }
+
+// Eval implements clock.Component; links have no evaluation work.
+func (l *Link) Eval(cycle uint64) {}
+
+// Commit shifts both pipelines, latching the values staged during Eval.
+func (l *Link) Commit(cycle uint64) {
+	l.ab.shift()
+	l.ba.shift()
+}
+
+// SetCorruptor installs fault hooks applied to words exiting the link in
+// each direction. Either may be nil.
+func (l *Link) SetCorruptor(ab, ba Corruptor) {
+	l.corruptAB, l.corruptBA = ab, ba
+}
+
+// Kill marks the link dead: both directions deliver only Empty words and a
+// deasserted BCB, as a severed wire would.
+func (l *Link) Kill() { l.dead = true }
+
+// Revive clears a previous Kill. In-flight contents were lost.
+func (l *Link) Revive() { l.dead = false }
+
+// Dead reports whether the link has been killed.
+func (l *Link) Dead() bool { return l.dead }
+
+// A returns the upstream end of the link.
+func (l *Link) A() *End { return &End{l: l, atA: true} }
+
+// B returns the downstream end of the link.
+func (l *Link) B() *End { return &End{l: l, atA: false} }
+
+// End is one side's interface to a link. All methods follow the two-phase
+// clock discipline: Send/SendBCB stage values for the current cycle, while
+// Recv/RecvBCB observe values committed at the end of the previous cycle.
+type End struct {
+	l   *Link
+	atA bool
+}
+
+// Link returns the underlying link.
+func (e *End) Link() *Link { return e.l }
+
+// Send stages the word this end drives onto the link this cycle. If Send is
+// not called during a cycle the end drives Empty.
+func (e *End) Send(w word.Word) {
+	if e.atA {
+		e.l.ab.staged.w = w
+	} else {
+		e.l.ba.staged.w = w
+	}
+}
+
+// SendBCB stages the backward control bit this end drives this cycle.
+// The BCB is only meaningful traveling B→A (toward the source), but both
+// directions carry it for symmetry.
+func (e *End) SendBCB(b bool) {
+	if e.atA {
+		e.l.ab.staged.bcb = b
+	} else {
+		e.l.ba.staged.bcb = b
+	}
+}
+
+// Recv returns the word arriving at this end this cycle.
+func (e *End) Recv() word.Word {
+	s := e.incoming()
+	return s.w
+}
+
+// RecvBCB returns the backward control bit arriving at this end this cycle.
+func (e *End) RecvBCB() bool {
+	return e.incoming().bcb
+}
+
+func (e *End) incoming() slot {
+	if e.l.dead {
+		return slot{}
+	}
+	var s slot
+	var c Corruptor
+	if e.atA {
+		s = e.l.ba.out()
+		c = e.l.corruptBA
+	} else {
+		s = e.l.ab.out()
+		c = e.l.corruptAB
+	}
+	if c != nil && !s.w.IsEmpty() {
+		s.w = c(s.w)
+	}
+	return s
+}

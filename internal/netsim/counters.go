@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Counters is a core.Tracer that aggregates router events per network
+// stage: where connections are won, where they block, how often paths
+// reverse. It quantifies the congestion structure of a multistage network
+// — classically, contention concentrates in the early dilated stages where
+// paths have not yet separated.
+//
+// Counters is safe for concurrent use, although the simulation engine is
+// single-threaded; the lock simply makes the tracer safe to share between
+// a running simulation and a observer goroutine in interactive tools.
+type Counters struct {
+	mu        sync.Mutex
+	allocated map[int]uint64
+	blocked   map[int]uint64
+	released  map[int]uint64
+	reversed  map[int]uint64
+}
+
+// NewCounters returns an empty aggregate tracer.
+func NewCounters() *Counters {
+	return &Counters{
+		allocated: map[int]uint64{},
+		blocked:   map[int]uint64{},
+		released:  map[int]uint64{},
+		reversed:  map[int]uint64{},
+	}
+}
+
+// stageOf parses the stage index from the router names netsim assigns
+// ("s<stage>r<index>", with an optional ".m<lane>" suffix for cascades).
+func stageOf(router string) int {
+	if !strings.HasPrefix(router, "s") {
+		return -1
+	}
+	rest := router[1:]
+	end := strings.IndexByte(rest, 'r')
+	if end <= 0 {
+		return -1
+	}
+	stage := 0
+	for _, c := range rest[:end] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		stage = stage*10 + int(c-'0')
+	}
+	return stage
+}
+
+// Allocated implements core.Tracer.
+func (c *Counters) Allocated(cycle uint64, router string, fp, bp int) {
+	c.bump(c.allocated, router)
+}
+
+// Blocked implements core.Tracer.
+func (c *Counters) Blocked(cycle uint64, router string, fp, dir int, fast bool) {
+	c.bump(c.blocked, router)
+}
+
+// Released implements core.Tracer.
+func (c *Counters) Released(cycle uint64, router string, fp, bp int) {
+	c.bump(c.released, router)
+}
+
+// Reversed implements core.Tracer.
+func (c *Counters) Reversed(cycle uint64, router string, fp int, towardSource bool) {
+	c.bump(c.reversed, router)
+}
+
+func (c *Counters) bump(m map[int]uint64, router string) {
+	s := stageOf(router)
+	c.mu.Lock()
+	m[s]++
+	c.mu.Unlock()
+}
+
+// StageStats reports the aggregate for one stage.
+type StageStats struct {
+	Stage                                  int
+	Allocated, Blocked, Released, Reversed uint64
+}
+
+// BlockRate returns blocked / (blocked + allocated) for the stage.
+func (s StageStats) BlockRate() float64 {
+	total := s.Blocked + s.Allocated
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(total)
+}
+
+// PerStage returns the aggregates for stages [0, n).
+func (c *Counters) PerStage(n int) []StageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StageStats, n)
+	for s := 0; s < n; s++ {
+		out[s] = StageStats{
+			Stage:     s,
+			Allocated: c.allocated[s],
+			Blocked:   c.blocked[s],
+			Released:  c.released[s],
+			Reversed:  c.reversed[s],
+		}
+	}
+	return out
+}
+
+// String renders a compact summary.
+func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	maxStage := -1
+	for s := range c.allocated {
+		if s > maxStage {
+			maxStage = s
+		}
+	}
+	for s := range c.blocked {
+		if s > maxStage {
+			maxStage = s
+		}
+	}
+	var b strings.Builder
+	for s := 0; s <= maxStage; s++ {
+		fmt.Fprintf(&b, "stage %d: alloc=%d blocked=%d released=%d reversed=%d\n",
+			s, c.allocated[s], c.blocked[s], c.released[s], c.reversed[s])
+	}
+	return b.String()
+}

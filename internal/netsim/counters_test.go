@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"testing"
+
+	"metro/internal/topo"
+)
+
+func TestStageOfParsing(t *testing.T) {
+	cases := map[string]int{
+		"s0r3":    0,
+		"s2r11":   2,
+		"s10r0":   10,
+		"s1r4.m0": 1,
+		"weird":   -1,
+		"sxr1":    -1,
+		"":        -1,
+	}
+	for name, want := range cases {
+		if got := stageOf(name); got != want {
+			t.Errorf("stageOf(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestCountersAggregatePerStage(t *testing.T) {
+	counters := NewCounters()
+	n, err := Build(Params{
+		Spec: topo.Figure1(), Width: 8, DataPipe: 1, LinkDelay: 1,
+		FastReclaim: true, Seed: 3, RetryLimit: 500, Tracer: counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 16; src++ {
+		for d := 1; d <= 4; d++ {
+			n.Send(src, (src+d*3)%16, []byte{byte(src)})
+		}
+	}
+	if !n.RunUntilQuiet(500000) {
+		t.Fatal("network did not go quiet")
+	}
+	stats := counters.PerStage(3)
+	totalAlloc := uint64(0)
+	for _, s := range stats {
+		totalAlloc += s.Allocated
+		if s.Allocated == 0 {
+			t.Errorf("stage %d saw no allocations", s.Stage)
+		}
+		if s.Allocated < s.Reversed/2 {
+			t.Errorf("stage %d reversal count inconsistent: %+v", s.Stage, s)
+		}
+	}
+	// Every successful message allocates once per stage; blocked attempts
+	// allocate in their prefix stages. So stage 0 must see at least as
+	// many allocations as any later stage.
+	if stats[0].Allocated < stats[2].Allocated {
+		t.Errorf("allocation counts should not grow downstream: %+v", stats)
+	}
+	if counters.String() == "" {
+		t.Error("String() empty")
+	}
+	// Blocking rate well-defined.
+	for _, s := range stats {
+		if r := s.BlockRate(); r < 0 || r >= 1 {
+			t.Errorf("stage %d block rate %f out of range", s.Stage, r)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"metro/internal/topo"
+)
+
+// TestInvariantsUnderHeavyLoad runs a saturating workload and audits every
+// router's internal consistency every cycle.
+func TestInvariantsUnderHeavyLoad(t *testing.T) {
+	n, err := Build(Params{
+		Spec: topo.Figure1(), Width: 8, DataPipe: 2, LinkDelay: 2,
+		FastReclaim: true, Seed: 41, RetryLimit: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for cycle := 0; cycle < 4000; cycle++ {
+		if cycle%3 == 0 {
+			src := rng.Intn(16)
+			dest := rng.Intn(16)
+			if dest == src {
+				dest = (dest + 1) % 16
+			}
+			n.Send(src, dest, []byte{byte(cycle), byte(src)})
+		}
+		n.Engine.Step()
+		for s := range n.Routers {
+			for _, r := range n.Routers[s] {
+				if err := r.CheckInvariants(); err != nil {
+					t.Fatalf("cycle %d: %v", cycle, err)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantsUnderFaultsAndDetailedMode repeats the audit with dynamic
+// faults firing and detailed blocked replies (the more complex teardown
+// paths).
+func TestInvariantsUnderFaultsAndDetailedMode(t *testing.T) {
+	n, err := Build(Params{
+		Spec: topo.Figure1(), Width: 8, DataPipe: 1, LinkDelay: 1,
+		FastReclaim: false, Seed: 43, RetryLimit: 1000, ListenTimeout: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for cycle := 0; cycle < 4000; cycle++ {
+		if cycle%4 == 0 {
+			src := rng.Intn(16)
+			n.Send(src, (src+1+rng.Intn(15))%16, []byte{1, 2, 3})
+		}
+		if cycle == 1000 {
+			n.OutLink(0, 2, 1).Kill()
+		}
+		if cycle == 2000 {
+			n.KillRouter(1, 4)
+		}
+		n.Engine.Step()
+		for s := range n.Routers {
+			for _, r := range n.Routers[s] {
+				if err := r.CheckInvariants(); err != nil {
+					t.Fatalf("cycle %d: %v", cycle, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,471 @@
+// Package netsim assembles complete METRO networks — routers, pipelined
+// links and source-responsible endpoints on a multipath multistage
+// topology — and runs cycle-accurate simulations of them.
+//
+// It is the substrate for the paper's aggregate-performance results
+// (Figure 3) and for the fault-tolerance and ablation experiments: traffic
+// generators (package traffic) drive the endpoints, fault plans (package
+// fault) mutate links and routers mid-run, and the collected nic.Results
+// aggregate into the reported statistics.
+package netsim
+
+import (
+	"fmt"
+
+	"metro/internal/cascade"
+	"metro/internal/clock"
+	"metro/internal/core"
+	"metro/internal/link"
+	"metro/internal/nic"
+	"metro/internal/prng"
+	"metro/internal/topo"
+	"metro/internal/word"
+)
+
+// Params configures a network build.
+type Params struct {
+	// Spec is the multistage topology to elaborate.
+	Spec topo.Spec
+	// Width is the channel width w in bits.
+	Width int
+	// HeaderWords is the hw parameter applied to every stage.
+	HeaderWords int
+	// StageHeaderWords optionally overrides HeaderWords per stage,
+	// allowing networks mixing router generations (an hw=0 bit-stripping
+	// stage feeding an hw=2 pipelined-setup stage, say). Entries < 0 fall
+	// back to HeaderWords.
+	StageHeaderWords []int
+	// DataPipe is the dp parameter applied to every router.
+	DataPipe int
+	// LinkDelay is the pipeline depth of every link (vtd >= 1).
+	LinkDelay int
+	// StageLinkDelays optionally overrides LinkDelay per link tier:
+	// element 0 applies to injection links, element s+1 to the output
+	// links of stage s. Shorter entries fall back to LinkDelay. This is
+	// the paper's variable turn delay: each port's wire can contribute a
+	// different number of pipeline stages (Section 5.1), and the router's
+	// Table 2 turn-delay registers record the per-port values.
+	StageLinkDelays []int
+	// FastReclaim selects fast path reclamation on every forward port;
+	// false selects detailed blocked replies everywhere.
+	FastReclaim bool
+	// DetailedStages lists stages whose routers use detailed blocked
+	// replies regardless of FastReclaim — the paper's mixed mode, where a
+	// portion of the network is selected for information gathering while
+	// the rest recovers fast (Section 5.1, Path Reclamation).
+	DetailedStages []int
+	// FirstFreeSelection replaces stochastic output selection with the
+	// deterministic first-free ablation on every router.
+	FirstFreeSelection bool
+	// CascadeWidth is the router width-cascade factor c: every logical
+	// router is built from c physical components sharing random bits and
+	// the wired-AND IN-USE check, every link becomes c parallel lanes,
+	// and the logical channel width becomes Width*c (default 1).
+	CascadeWidth int
+	// Seed drives all PRNGs (wiring, router selection).
+	Seed int64
+	// MaxActiveSenders bounds concurrent sends per endpoint (0 = all
+	// links).
+	MaxActiveSenders int
+	// RetryLimit bounds attempts per message.
+	RetryLimit int
+	// ListenTimeout is the per-attempt reply watchdog in cycles.
+	ListenTimeout uint64
+	// Responder, when set, generates request-reply traffic: the function
+	// receives the destination endpoint and request payload and returns
+	// the reply payload.
+	Responder func(dest int, payload []byte) []byte
+	// ResponderDelay, when set, returns the cycles a destination waits
+	// before its reply is ready; the connection is held open with
+	// DATA-IDLE fill meanwhile.
+	ResponderDelay func(dest int, payload []byte) int
+	// Tracer, when set, observes router events.
+	Tracer core.Tracer
+	// OnResult, when set, observes every completed message in addition to
+	// the Results accumulator.
+	OnResult func(nic.Result)
+	// OnDeliver, when set, observes every destination-side delivery.
+	OnDeliver func(dest int, payload []byte, intact bool)
+}
+
+func (p Params) withDefaults() Params {
+	if p.Width == 0 {
+		p.Width = 8
+	}
+	if p.DataPipe == 0 {
+		p.DataPipe = 1
+	}
+	if p.LinkDelay == 0 {
+		p.LinkDelay = 1
+	}
+	if p.CascadeWidth == 0 {
+		p.CascadeWidth = 1
+	}
+	return p
+}
+
+// Network is an elaborated, runnable METRO network.
+type Network struct {
+	Params Params
+	Topo   *topo.Topology
+	Engine *clock.Engine
+	// Routers holds lane 0 of every logical router; with CascadeWidth > 1
+	// the full groups live in Cascades.
+	Routers   [][]*core.Router
+	Cascades  [][]*cascade.Group // nil entries when CascadeWidth == 1
+	Endpoints []*nic.Endpoint
+
+	injLinks [][]*link.Link     // [endpoint][k], lane 0
+	outLinks [][][]*link.Link   // [stage][router][bp], lane 0
+	injLanes [][][]*link.Link   // [endpoint][k][lane]
+	outLanes [][][][]*link.Link // [stage][router][bp][lane]
+
+	results []nic.Result
+	nextID  uint64
+}
+
+// Build elaborates and wires the network.
+func Build(p Params) (*Network, error) {
+	p = p.withDefaults()
+	top, err := topo.Build(p.Spec)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{Params: p, Topo: top, Engine: clock.New()}
+
+	// delayOf resolves the link pipeline depth for a tier (0 = injection,
+	// s+1 = outputs of stage s).
+	delayOf := func(tier int) int {
+		if tier < len(p.StageLinkDelays) && p.StageLinkDelays[tier] > 0 {
+			return p.StageLinkDelays[tier]
+		}
+		return p.LinkDelay
+	}
+	maxDelay := p.LinkDelay
+	for _, d := range p.StageLinkDelays {
+		if d > maxDelay {
+			maxDelay = d
+		}
+	}
+	hwOf := func(stage int) int {
+		if stage < len(p.StageHeaderWords) && p.StageHeaderWords[stage] >= 0 {
+			return p.StageHeaderWords[stage]
+		}
+		return p.HeaderWords
+	}
+
+	// Routers: one per lane; with cascading the lanes form a consistency
+	// group sharing a random stream.
+	c := p.CascadeWidth
+	lanes := make([][][]*core.Router, len(p.Spec.Stages)) // [stage][router][lane]
+	n.Routers = make([][]*core.Router, len(p.Spec.Stages))
+	n.Cascades = make([][]*cascade.Group, len(p.Spec.Stages))
+	for s, st := range p.Spec.Stages {
+		lanes[s] = make([][]*core.Router, top.RoutersPerStage[s])
+		n.Routers[s] = make([]*core.Router, top.RoutersPerStage[s])
+		n.Cascades[s] = make([]*cascade.Group, top.RoutersPerStage[s])
+		for j := range n.Routers[s] {
+			cfg := core.Config{
+				Inputs:       st.Inputs,
+				Outputs:      st.Outputs(),
+				Width:        p.Width,
+				MaxDilation:  st.Dilation,
+				HeaderWords:  hwOf(s),
+				DataPipe:     p.DataPipe,
+				MaxVTD:       maxInt(maxDelay, 1),
+				RandomInputs: 2,
+				ScanPaths:    2,
+			}
+			set := core.DefaultSettings(cfg)
+			set.Dilation = st.Dilation
+			fast := p.FastReclaim
+			for _, ds := range p.DetailedStages {
+				if ds == s {
+					fast = false
+				}
+			}
+			for fp := range set.FastReclaim {
+				set.FastReclaim[fp] = fast
+			}
+			seed := uint32(p.Seed)*2654435761 + uint32(s)*40503 + uint32(j)*9973 + 1
+			if c == 1 {
+				r := core.NewRouter(fmt.Sprintf("s%dr%d", s, j), cfg, set, prng.NewLFSR(seed))
+				lanes[s][j] = []*core.Router{r}
+			} else {
+				g := cascade.NewGroup(fmt.Sprintf("s%dr%d", s, j), cfg, set, c, prng.NewShared(seed))
+				n.Cascades[s][j] = g
+				lanes[s][j] = make([]*core.Router, c)
+				for k := 0; k < c; k++ {
+					lanes[s][j][k] = g.Member(k)
+				}
+			}
+			for _, r := range lanes[s][j] {
+				if p.FirstFreeSelection {
+					r.SetSelectionPolicy(core.SelectFirstFree)
+				}
+				if p.Tracer != nil {
+					r.SetTracer(p.Tracer)
+				}
+			}
+			n.Routers[s][j] = lanes[s][j][0]
+		}
+	}
+
+	// Endpoints.
+	header := nic.HeaderSpec{Width: p.Width}
+	for s, st := range p.Spec.Stages {
+		header.Stages = append(header.Stages, nic.StageHeader{
+			DirBits:     log2(st.Radix),
+			HeaderWords: hwOf(s),
+		})
+	}
+	n.Endpoints = make([]*nic.Endpoint, p.Spec.Endpoints)
+	for e := 0; e < p.Spec.Endpoints; e++ {
+		e := e
+		cfg := nic.Config{
+			ID:               e,
+			Width:            p.Width,
+			Lanes:            c,
+			Header:           header,
+			RouteDigits:      top.RouteDigits,
+			MaxActiveSenders: p.MaxActiveSenders,
+			RetryLimit:       p.RetryLimit,
+			ListenTimeout:    p.ListenTimeout,
+			CloseGap:         p.DataPipe + 2,
+			OnResult: func(r nic.Result) {
+				n.results = append(n.results, r)
+				if p.OnResult != nil {
+					p.OnResult(r)
+				}
+			},
+		}
+		if p.Responder != nil {
+			cfg.Responder = func(payload []byte) []byte { return p.Responder(e, payload) }
+		}
+		if p.ResponderDelay != nil {
+			cfg.ResponderDelay = func(payload []byte) int { return p.ResponderDelay(e, payload) }
+		}
+		if p.OnDeliver != nil {
+			cfg.OnDeliver = func(payload []byte, intact bool) { p.OnDeliver(e, payload, intact) }
+		}
+		ep, err := nic.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		n.Endpoints[e] = ep
+	}
+
+	// Links: injection, inter-stage, delivery — one physical link per
+	// cascade lane.
+	channel := func(ends []*link.End) nic.Channel {
+		if c == 1 {
+			return ends[0]
+		}
+		return cascade.NewWideChannel(ends, p.Width)
+	}
+	n.injLinks = make([][]*link.Link, p.Spec.Endpoints)
+	n.injLanes = make([][][]*link.Link, p.Spec.Endpoints)
+	for e, refs := range top.Inject {
+		n.injLinks[e] = make([]*link.Link, len(refs))
+		n.injLanes[e] = make([][]*link.Link, len(refs))
+		for k, ref := range refs {
+			ends := make([]*link.End, c)
+			n.injLanes[e][k] = make([]*link.Link, c)
+			for lane := 0; lane < c; lane++ {
+				l := link.New(fmt.Sprintf("ep%d.%d.l%d->%s", e, k, lane, ref), delayOf(0))
+				n.injLanes[e][k][lane] = l
+				ends[lane] = l.A()
+				r := lanes[ref.Stage][ref.Index][lane]
+				r.AttachForward(ref.Port, l.B())
+				setTurnDelay(r, ref.Port, delayOf(0))
+				n.Engine.Add(l)
+			}
+			n.injLinks[e][k] = n.injLanes[e][k][0]
+			n.Endpoints[e].AttachInject(channel(ends))
+		}
+	}
+	n.outLinks = make([][][]*link.Link, len(p.Spec.Stages))
+	n.outLanes = make([][][][]*link.Link, len(p.Spec.Stages))
+	for s := range top.Out {
+		n.outLinks[s] = make([][]*link.Link, len(top.Out[s]))
+		n.outLanes[s] = make([][][]*link.Link, len(top.Out[s]))
+		for j := range top.Out[s] {
+			n.outLinks[s][j] = make([]*link.Link, len(top.Out[s][j]))
+			n.outLanes[s][j] = make([][]*link.Link, len(top.Out[s][j]))
+			for bp, ref := range top.Out[s][j] {
+				ends := make([]*link.End, c)
+				n.outLanes[s][j][bp] = make([]*link.Link, c)
+				for lane := 0; lane < c; lane++ {
+					l := link.New(fmt.Sprintf("s%dr%d.b%d.l%d->%s", s, j, bp, lane, ref), delayOf(s+1))
+					n.outLanes[s][j][bp][lane] = l
+					up := lanes[s][j][lane]
+					up.AttachBackward(bp, l.A())
+					setTurnDelay(up, up.Config().Inputs+bp, delayOf(s+1))
+					ends[lane] = l.B()
+					if ref.Kind != topo.KindEndpoint {
+						down := lanes[ref.Stage][ref.Index][lane]
+						down.AttachForward(ref.Port, l.B())
+						setTurnDelay(down, ref.Port, delayOf(s+1))
+					}
+					n.Engine.Add(l)
+				}
+				n.outLinks[s][j][bp] = n.outLanes[s][j][bp][0]
+				if ref.Kind == topo.KindEndpoint {
+					n.Endpoints[ref.Index].AttachDeliver(channel(ends))
+				}
+			}
+		}
+	}
+
+	for s := range n.Routers {
+		for j := range n.Routers[s] {
+			if c == 1 {
+				n.Engine.Add(n.Routers[s][j])
+			} else {
+				n.Engine.Add(n.Cascades[s][j])
+			}
+		}
+	}
+	for _, ep := range n.Endpoints {
+		n.Engine.Add(ep)
+	}
+	return n, nil
+}
+
+// Send offers a message from src to dest and returns its ID.
+func (n *Network) Send(src, dest int, payload []byte) uint64 {
+	n.nextID++
+	id := n.nextID
+	n.Endpoints[src].Offer(nic.Message{
+		ID: id, Src: src, Dest: dest,
+		Payload: payload, Created: n.Engine.Cycle(),
+	})
+	return id
+}
+
+// Run advances the network n cycles.
+func (n *Network) Run(cycles uint64) { n.Engine.Run(cycles) }
+
+// RunUntilQuiet steps until no endpoint has queued or in-flight messages,
+// up to max cycles. It returns true if the network went quiet.
+func (n *Network) RunUntilQuiet(max uint64) bool {
+	return n.Engine.RunUntil(func() bool {
+		for _, ep := range n.Endpoints {
+			if ep.QueueLen() > 0 || ep.Busy() || ep.Receiving() {
+				return false
+			}
+		}
+		return true
+	}, max)
+}
+
+// Results returns the completed-message reports accumulated so far.
+func (n *Network) Results() []nic.Result { return n.results }
+
+// TakeResults returns and clears the accumulated reports.
+func (n *Network) TakeResults() []nic.Result {
+	r := n.results
+	n.results = nil
+	return r
+}
+
+// RouterAt returns the router at (stage, index).
+func (n *Network) RouterAt(stage, index int) *core.Router { return n.Routers[stage][index] }
+
+// InjectLink returns endpoint e's k-th injection link.
+func (n *Network) InjectLink(e, k int) *link.Link { return n.injLinks[e][k] }
+
+// OutLink returns the link attached to backward port bp of router (stage,
+// index).
+func (n *Network) OutLink(stage, index, bp int) *link.Link { return n.outLinks[stage][index][bp] }
+
+// EachLink visits every link in the network.
+func (n *Network) EachLink(f func(*link.Link)) {
+	for _, ls := range n.injLinks {
+		for _, l := range ls {
+			f(l)
+		}
+	}
+	for _, stage := range n.outLinks {
+		for _, router := range stage {
+			for _, l := range router {
+				f(l)
+			}
+		}
+	}
+}
+
+// KillRouter disables every port of a logical router (all cascade lanes),
+// modeling its complete loss.
+func (n *Network) KillRouter(stage, index int) {
+	routers := []*core.Router{n.Routers[stage][index]}
+	if g := n.Cascades[stage][index]; g != nil {
+		routers = routers[:0]
+		for k := 0; k < g.Width(); k++ {
+			routers = append(routers, g.Member(k))
+		}
+	}
+	for _, r := range routers {
+		for fp := 0; fp < r.Config().Inputs; fp++ {
+			r.SetForwardEnabled(fp, false)
+		}
+		for bp := 0; bp < r.Config().Outputs; bp++ {
+			r.SetBackwardEnabled(bp, false)
+		}
+	}
+	// Sever its attached wires so circuits in flight die too.
+	for bp := range n.outLanes[stage][index] {
+		for _, l := range n.outLanes[stage][index][bp] {
+			l.Kill()
+		}
+	}
+}
+
+// MessageWords returns the number of channel words a payload of the given
+// byte length occupies, including header, end-to-end checksum and TURN —
+// useful for sizing workloads against channel bandwidth.
+func (n *Network) MessageWords(payloadBytes int) int {
+	digits := n.Topo.RouteDigits(0)
+	header := nic.HeaderSpec{Width: n.Params.Width}
+	for s, st := range n.Params.Spec.Stages {
+		hw := n.Params.HeaderWords
+		if s < len(n.Params.StageHeaderWords) && n.Params.StageHeaderWords[s] >= 0 {
+			hw = n.Params.StageHeaderWords[s]
+		}
+		header.Stages = append(header.Stages, nic.StageHeader{
+			DirBits:     log2(st.Radix),
+			HeaderWords: hw,
+		})
+	}
+	h := header.Build(digits)
+	logical := n.Params.Width * n.Params.CascadeWidth
+	payloadWords := len(nic.PackBytes(make([]byte, payloadBytes), logical))
+	return len(h) + payloadWords + word.ChecksumWords(logical) + 1
+}
+
+// setTurnDelay records a port's attached wire depth in the router's
+// Table 2 turn-delay register, as a scan CONFIG load would.
+func setTurnDelay(r *core.Router, port, delay int) {
+	set := r.Settings()
+	if port >= 0 && port < len(set.TurnDelay) {
+		set.TurnDelay[port] = delay
+		// Settings were validated at construction; the delay fits MaxVTD
+		// by construction (MaxVTD = max link delay).
+		_ = r.ApplySettings(set)
+	}
+}
+
+func log2(v int) int {
+	n := 0
+	for 1<<uint(n) < v {
+		n++
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"testing"
+
+	"metro/internal/topo"
+)
+
+// TestRandomlyWiredNetworkDelivers runs traffic over the randomly wired
+// multibutterfly variant (Leighton/Lisinski/Maggs-style wiring).
+func TestRandomlyWiredNetworkDelivers(t *testing.T) {
+	spec := topo.Figure1()
+	spec.Wiring = topo.WiringRandom
+	spec.Seed = 1234
+	n, err := Build(Params{
+		Spec: spec, Width: 8, DataPipe: 1, LinkDelay: 1,
+		FastReclaim: true, Seed: 2, RetryLimit: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for src := 0; src < 16; src++ {
+		for d := 1; d <= 4; d++ {
+			n.Send(src, (src+d*3)%16, []byte{byte(src)})
+			want++
+		}
+	}
+	if !n.RunUntilQuiet(500000) {
+		t.Fatal("network did not go quiet")
+	}
+	res := n.Results()
+	if len(res) != want {
+		t.Fatalf("completed %d of %d", len(res), want)
+	}
+	for _, r := range res {
+		if !r.Delivered {
+			t.Fatalf("undelivered on random wiring: %+v", r)
+		}
+	}
+}
+
+// TestFourStageNetwork32 runs the 32-node, 4-stage network assumed by the
+// Table 3 t20,32 estimates (radix-2 dilation-2 stages, METROJR routers).
+func TestFourStageNetwork32(t *testing.T) {
+	n, err := Build(Params{
+		Spec: topo.Table3Network32(), Width: 4, DataPipe: 1, LinkDelay: 1,
+		FastReclaim: true, Seed: 3, RetryLimit: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 32; src += 3 {
+		n.Send(src, (src+11)%32, make([]byte, 20))
+	}
+	if !n.RunUntilQuiet(500000) {
+		t.Fatal("network did not go quiet")
+	}
+	for _, r := range n.Results() {
+		if !r.Delivered {
+			t.Fatalf("undelivered: %+v", r)
+		}
+	}
+}
+
+// TestTwoStageRadix8Network runs the 2-stage 32-node network for 8x8
+// routers (the METRO i=o=8 rows of Table 3).
+func TestTwoStageRadix8Network(t *testing.T) {
+	n, err := Build(Params{
+		Spec: topo.Table3Network32Radix8(), Width: 4, DataPipe: 1, LinkDelay: 1,
+		FastReclaim: true, Seed: 4, RetryLimit: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 32; src++ {
+		n.Send(src, 31-src, []byte{byte(src), byte(src + 1)})
+	}
+	if !n.RunUntilQuiet(500000) {
+		t.Fatal("network did not go quiet")
+	}
+	res := n.Results()
+	if len(res) != 32 {
+		t.Fatalf("completed %d of 32", len(res))
+	}
+	for _, r := range res {
+		if !r.Delivered {
+			t.Fatalf("undelivered: %+v", r)
+		}
+	}
+}
+
+// TestLargeNetwork256 scales the construction to 256 endpoints (four
+// radix-4 stages) and checks deliveries complete.
+func TestLargeNetwork256(t *testing.T) {
+	spec := topo.Spec{
+		Endpoints:     256,
+		EndpointLinks: 2,
+		Stages: []topo.StageSpec{
+			{Inputs: 8, Radix: 4, Dilation: 2},
+			{Inputs: 8, Radix: 4, Dilation: 2},
+			{Inputs: 8, Radix: 4, Dilation: 2},
+			{Inputs: 4, Radix: 4, Dilation: 1},
+		},
+		Wiring: topo.WiringInterleave,
+	}
+	if err := topo.Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(Params{
+		Spec: spec, Width: 8, DataPipe: 1, LinkDelay: 1,
+		FastReclaim: true, Seed: 5, RetryLimit: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 256; src += 7 {
+		n.Send(src, (src+101)%256, make([]byte, 20))
+	}
+	if !n.RunUntilQuiet(500000) {
+		t.Fatal("network did not go quiet")
+	}
+	for _, r := range n.Results() {
+		if !r.Delivered {
+			t.Fatalf("undelivered at scale: %+v", r)
+		}
+	}
+}
+
+// TestSingleLinkEndpointVariant exercises the reduced-redundancy network
+// with one network connection per endpoint: still functional, fewer
+// paths.
+func TestSingleLinkEndpointVariant(t *testing.T) {
+	spec := topo.Spec{
+		Endpoints:     64,
+		EndpointLinks: 1,
+		Stages: []topo.StageSpec{
+			{Inputs: 8, Radix: 4, Dilation: 2},
+			{Inputs: 8, Radix: 4, Dilation: 2},
+			{Inputs: 4, Radix: 4, Dilation: 1},
+		},
+		Wiring: topo.WiringInterleave,
+	}
+	top, err := topo.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := topo.Build(topo.Figure3())
+	if top.PathCount(0, 63)*2 != full.PathCount(0, 63) {
+		t.Fatalf("ne=1 paths %d should be half of ne=2 paths %d",
+			top.PathCount(0, 63), full.PathCount(0, 63))
+	}
+	n, err := Build(Params{
+		Spec: spec, Width: 8, DataPipe: 1, LinkDelay: 1,
+		FastReclaim: true, Seed: 6, RetryLimit: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 64; src += 5 {
+		n.Send(src, (src+33)%64, []byte("one-link"))
+	}
+	if !n.RunUntilQuiet(500000) {
+		t.Fatal("network did not go quiet")
+	}
+	for _, r := range n.Results() {
+		if !r.Delivered {
+			t.Fatalf("undelivered: %+v", r)
+		}
+	}
+}

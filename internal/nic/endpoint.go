@@ -1,0 +1,598 @@
+package nic
+
+import (
+	"fmt"
+
+	"metro/internal/word"
+)
+
+// Channel is the endpoint's view of a network attachment point: one
+// word-wide, bidirectional, BCB-carrying connection per clock cycle. A
+// plain link end satisfies it directly; a width-cascaded group of links is
+// presented as a single logical Channel by cascade.WideChannel.
+type Channel interface {
+	Send(word.Word)
+	Recv() word.Word
+	SendBCB(bool)
+	RecvBCB() bool
+}
+
+// Config parameterizes an endpoint's network interface.
+type Config struct {
+	// ID is the endpoint number.
+	ID int
+	// Width is the physical channel width w of one routing component.
+	Width int
+	// Lanes is the width-cascade factor c: the number of parallel
+	// components each logical channel spans (default 1). Payload words
+	// are Width*Lanes bits; routing and control words are replicated
+	// across lanes (paper, Section 5.1, Router Width Cascading).
+	Lanes int
+	// Header describes the per-stage routing header consumption.
+	Header HeaderSpec
+	// RouteDigits maps a destination endpoint to per-stage directions.
+	RouteDigits func(dest int) []int
+	// MaxActiveSenders bounds concurrently transmitting injection links
+	// (Figure 3 restricts each endpoint to one; 0 means no limit).
+	MaxActiveSenders int
+	// RetryLimit bounds connection attempts per message before the
+	// message is reported undeliverable.
+	RetryLimit int
+	// ListenTimeout is the watchdog on reply arrival, in cycles.
+	ListenTimeout uint64
+	// CloseGap is how many cycles an injection link stays quiet after a
+	// DROP before carrying a new ROUTE, so the request never chases the
+	// DROP into a router that has not yet released (>= max dp + 2).
+	CloseGap int
+	// Responder, when set, produces a reply payload for each received
+	// message (destination side), enabling request-reply transactions
+	// over a single reversed connection.
+	Responder func(payload []byte) []byte
+	// ResponderDelay, when set, returns how many cycles the destination
+	// needs before its reply data is ready (e.g. a memory access vs a
+	// cache hit). The endpoint holds the reversed connection open with
+	// DATA-IDLE words for that long — the paper's first DATA-IDLE use
+	// case (Section 5.1).
+	ResponderDelay func(payload []byte) int
+	// OnResult receives the final fate of each message this endpoint
+	// sourced.
+	OnResult func(Result)
+	// OnDeliver is invoked when a message is received (destination side).
+	OnDeliver func(payload []byte, intact bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lanes <= 0 {
+		c.Lanes = 1
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 64
+	}
+	if c.ListenTimeout == 0 {
+		c.ListenTimeout = 1000
+	}
+	if c.CloseGap == 0 {
+		c.CloseGap = 4
+	}
+	return c
+}
+
+// Endpoint is a network endpoint: a message source driving one or more
+// injection links and a destination served by one or more delivery links.
+// It implements clock.Component.
+type Endpoint struct {
+	cfg       Config
+	senders   []*sender
+	receivers []*receiver
+	queue     []*pending
+	nextSend  int
+}
+
+// pending is a message queued for (re)transmission together with its
+// accumulated attempt telemetry.
+type pending struct {
+	msg Message
+	res Result
+}
+
+// New constructs an endpoint. Links are attached afterward.
+func New(cfg Config) (*Endpoint, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Header.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RouteDigits == nil {
+		return nil, fmt.Errorf("nic: RouteDigits is required")
+	}
+	return &Endpoint{cfg: cfg}, nil
+}
+
+// logicalWidth returns the payload word width of the (possibly cascaded)
+// logical channel.
+func (c Config) logicalWidth() int { return c.Width * c.Lanes }
+
+// AttachInject adds an injection channel (the upstream end of a link, or
+// a cascaded wide channel).
+func (e *Endpoint) AttachInject(ch Channel) {
+	e.senders = append(e.senders, &sender{e: e, link: ch})
+}
+
+// AttachDeliver adds a delivery channel.
+func (e *Endpoint) AttachDeliver(ch Channel) {
+	e.receivers = append(e.receivers, &receiver{e: e, link: ch})
+}
+
+// ID returns the endpoint number.
+func (e *Endpoint) ID() int { return e.cfg.ID }
+
+// Offer enqueues a message for delivery.
+func (e *Endpoint) Offer(msg Message) {
+	e.queue = append(e.queue, &pending{msg: msg, res: Result{
+		Msg: msg, LastBlockedStage: -1, SuspectStage: -1,
+	}})
+}
+
+// QueueLen reports messages waiting for an injection link.
+func (e *Endpoint) QueueLen() int { return len(e.queue) }
+
+// Busy reports whether any sender is mid-message.
+func (e *Endpoint) Busy() bool {
+	for _, s := range e.senders {
+		if s.state != sIdle && s.state != sCooldown {
+			return true
+		}
+	}
+	return false
+}
+
+// Receiving reports whether any delivery link has a connection in
+// progress.
+func (e *Endpoint) Receiving() bool {
+	for _, r := range e.receivers {
+		if r.state != rIdle {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval implements clock.Component.
+func (e *Endpoint) Eval(cycle uint64) {
+	for _, r := range e.receivers {
+		r.eval(cycle)
+	}
+	active := 0
+	for _, s := range e.senders {
+		if s.state != sIdle && s.state != sCooldown {
+			active++
+		}
+	}
+	// Assign queued messages to idle senders, rotating so retries spread
+	// across the endpoint's injection links.
+	max := e.cfg.MaxActiveSenders
+	if max <= 0 {
+		max = len(e.senders)
+	}
+	for len(e.queue) > 0 && active < max {
+		s := e.idleSender()
+		if s == nil {
+			break
+		}
+		p := e.queue[0]
+		e.queue = e.queue[1:]
+		s.begin(cycle, p)
+		active++
+	}
+	for _, s := range e.senders {
+		s.eval(cycle)
+	}
+}
+
+// Commit implements clock.Component.
+func (e *Endpoint) Commit(cycle uint64) {}
+
+func (e *Endpoint) idleSender() *sender {
+	n := len(e.senders)
+	for i := 0; i < n; i++ {
+		s := e.senders[(e.nextSend+i)%n]
+		if s.state == sIdle {
+			e.nextSend = (e.nextSend + i + 1) % n
+			return s
+		}
+	}
+	return nil
+}
+
+// retry requeues a message at the head of the queue.
+func (e *Endpoint) retry(p *pending) {
+	e.queue = append([]*pending{p}, e.queue...)
+}
+
+func (e *Endpoint) finish(p *pending, delivered bool, cycle uint64) {
+	p.res.Delivered = delivered
+	if p.res.Done == 0 {
+		p.res.Done = cycle
+	}
+	if e.cfg.OnResult != nil {
+		e.cfg.OnResult(p.res)
+	}
+}
+
+// --- sender -----------------------------------------------------------
+
+type sState uint8
+
+const (
+	sIdle sState = iota
+	sSending
+	sListening
+	sDropping // transmit a DROP this cycle, then cool down
+	sCooldown
+)
+
+type sender struct {
+	e     *Endpoint
+	link  Channel
+	state sState
+
+	p        *pending
+	words    []word.Word
+	idx      int
+	expected [][]uint8 // per lane, per stage
+	sentCRC  uint8
+	parse    parser
+
+	listenStart uint64
+	cooldown    int
+	afterDrop   func(cycle uint64) // disposition applied once the DROP is out
+}
+
+// begin starts a transmission attempt for p. Payload words are packed at
+// the logical channel width; routing words were already sized to the
+// physical component width by the HeaderSpec and are replicated across
+// lanes by the channel.
+func (s *sender) begin(cycle uint64, p *pending) {
+	cfg := s.e.cfg
+	lw := cfg.logicalWidth()
+	s.p = p
+	digits := cfg.RouteDigits(p.msg.Dest)
+	header := cfg.Header.Build(digits)
+	payload := PackBytes(p.msg.Payload, lw)
+	var ck word.Checksum
+	for _, w := range payload {
+		ck.Add(w)
+	}
+	s.sentCRC = ck.Sum()
+	stream := make([]word.Word, 0, len(header)+len(payload)+word.ChecksumWords(lw)+1)
+	stream = append(stream, header...)
+	stream = append(stream, payload...)
+	stream = append(stream, word.SplitChecksum(s.sentCRC, lw)...)
+	s.words = append(stream, word.Word{Kind: word.Turn})
+	// Expected per-stage checksums, one set per lane: each routing
+	// component checksums the slice of the stream its lane carries.
+	s.expected = s.expected[:0]
+	for lane := 0; lane < cfg.Lanes; lane++ {
+		s.expected = append(s.expected,
+			cfg.Header.ExpectedStageChecksums(laneSlice(s.words, lane, cfg.Lanes, cfg.Width)))
+	}
+	s.idx = 0
+	s.parse = newParser(cfg.Width, lw, cfg.Lanes, len(digits))
+	s.state = sSending
+	if p.res.Injected == 0 && p.res.Retries == 0 {
+		p.res.Injected = cycle
+	}
+}
+
+// laneSlice projects a logical word stream onto one cascade lane: payload
+// bits are sliced, control words replicated — exactly what the lane's
+// routing component receives.
+func laneSlice(stream []word.Word, lane, lanes, width int) []word.Word {
+	if lanes == 1 {
+		return stream
+	}
+	out := make([]word.Word, len(stream))
+	for i, w := range stream {
+		switch w.Kind {
+		case word.Data, word.ChecksumWord:
+			out[i] = word.Word{Kind: w.Kind,
+				Payload: (w.Payload >> uint(lane*width)) & word.Mask(width)}
+		default:
+			out[i] = w
+		}
+	}
+	return out
+}
+
+// abort tears the attempt down: transmit DROP, cool down, then apply the
+// disposition (retry or fail).
+func (s *sender) abort(disposition func(cycle uint64)) {
+	s.afterDrop = disposition
+	s.state = sDropping
+}
+
+func (s *sender) eval(cycle uint64) {
+	switch s.state {
+	case sIdle:
+		return
+
+	case sCooldown:
+		s.cooldown--
+		if s.cooldown <= 0 {
+			s.state = sIdle
+		}
+		return
+
+	case sDropping:
+		s.link.Send(word.Word{Kind: word.Drop})
+		s.state = sCooldown
+		s.cooldown = s.e.cfg.CloseGap
+		if s.afterDrop != nil {
+			s.afterDrop(cycle)
+			s.afterDrop = nil
+		}
+		return
+
+	case sSending:
+		if s.link.RecvBCB() {
+			s.p.res.BlockedFast++
+			s.retryOrFail(cycle)
+			s.link.Send(word.Word{Kind: word.Drop})
+			s.state = sCooldown
+			s.cooldown = s.e.cfg.CloseGap
+			return
+		}
+		s.link.Send(s.words[s.idx])
+		s.idx++
+		if s.idx == len(s.words) {
+			s.state = sListening
+			s.listenStart = cycle
+		}
+		return
+
+	case sListening:
+		// Hold the connection open while receiving.
+		s.link.Send(word.Word{Kind: word.DataIdle})
+		if s.link.RecvBCB() {
+			s.p.res.BlockedFast++
+			s.abortNow(cycle)
+			return
+		}
+		w := s.link.Recv()
+		s.parse.feed(w)
+		switch {
+		case s.parse.done:
+			s.complete(cycle)
+		case s.parse.closed:
+			// Detailed blocked reply (or far-end close): retry.
+			s.p.res.BlockedDetailed++
+			s.p.res.LastBlockedStage = s.parse.blockedStage
+			p := s.p
+			s.p = nil
+			s.retryOrFailPending(p, cycle)
+			s.state = sCooldown
+			s.cooldown = s.e.cfg.CloseGap
+		case s.parse.failed:
+			s.p.res.ChecksumFailures++
+			s.abortNow(cycle)
+		case cycle-s.listenStart > s.e.cfg.ListenTimeout:
+			s.p.res.Timeouts++
+			s.abortNow(cycle)
+		}
+	}
+}
+
+// abortNow transmits a DROP next cycle and retries (or fails) the message.
+func (s *sender) abortNow(cycle uint64) {
+	s.abort(func(c uint64) {})
+	s.retryOrFail(cycle)
+}
+
+// complete finishes a successful parse: verify checksums, close the
+// connection, and report.
+func (s *sender) complete(cycle uint64) {
+	p := s.p
+	s.p = nil
+	// Fault localization: first stage whose reported checksum (any lane)
+	// disagrees with the expected value for that lane's slice.
+localize:
+	for stage, laneSums := range s.parse.routerCks {
+		for lane, got := range laneSums {
+			if lane < len(s.expected) && stage < len(s.expected[lane]) &&
+				got != s.expected[lane][stage] {
+				p.res.SuspectStage = stage
+				break localize
+			}
+		}
+	}
+	nack := s.parse.destStatus&word.StatusNack != 0
+	e2eOK := s.parse.destCk == s.sentCRC
+	replyOK := true
+	if s.parse.gotReplyCk {
+		var ck word.Checksum
+		for _, w := range s.parse.reply {
+			ck.Add(w)
+		}
+		replyOK = ck.Sum() == s.parse.replyCk
+	}
+	delivered := !nack && e2eOK && replyOK
+	p.res.Done = cycle
+	// Close the connection.
+	s.state = sDropping
+	if delivered {
+		p.res.Reply = UnpackBytes(s.parse.reply, s.e.cfg.logicalWidth())
+		s.afterDrop = func(c uint64) { s.e.finish(p, true, c) }
+	} else {
+		p.res.ChecksumFailures++
+		s.afterDrop = func(c uint64) { s.retryOrFailPending(p, c) }
+	}
+}
+
+func (s *sender) retryOrFail(cycle uint64) {
+	p := s.p
+	s.p = nil
+	s.retryOrFailPending(p, cycle)
+}
+
+func (s *sender) retryOrFailPending(p *pending, cycle uint64) {
+	p.res.Retries++
+	if p.res.Retries > s.e.cfg.RetryLimit {
+		s.e.finish(p, false, cycle)
+		return
+	}
+	s.e.retry(p)
+}
+
+// --- receiver ---------------------------------------------------------
+
+type rState uint8
+
+const (
+	rIdle rState = iota
+	rAssemble
+	rReply
+	rClosing
+)
+
+type receiver struct {
+	e     *Endpoint
+	link  Channel
+	state rState
+
+	payload []word.Word
+	ckbuf   []word.Word
+	gotCk   bool
+	e2e     uint8
+
+	reply      []word.Word
+	replyIdx   int
+	replyDelay int
+	skipCk     int
+	intact     bool
+}
+
+func (r *receiver) reset() {
+	*r = receiver{e: r.e, link: r.link}
+}
+
+func (r *receiver) eval(cycle uint64) {
+	w := r.link.Recv()
+	// End-to-end checksum groups are sized to the logical width; the
+	// router-injected status checksums skipped in rClosing are sized to
+	// the physical component width.
+	cw := word.ChecksumWords(r.e.cfg.logicalWidth())
+
+	switch r.state {
+	case rIdle:
+		switch w.Kind {
+		case word.Data, word.ChecksumWord, word.Turn:
+			r.state = rAssemble
+			r.assemble(w, cw, cycle)
+		}
+		// Empty, DataIdle and stray control words are ignored.
+
+	case rAssemble:
+		r.assemble(w, cw, cycle)
+
+	case rReply:
+		if w.Kind == word.Drop {
+			r.reset() // source abandoned the connection mid-reply
+			return
+		}
+		if r.replyDelay > 0 {
+			// Reply data not ready yet (memory access in flight): hold
+			// the connection open with idle fill.
+			r.replyDelay--
+			r.link.Send(word.Word{Kind: word.DataIdle})
+			return
+		}
+		r.link.Send(r.reply[r.replyIdx])
+		r.replyIdx++
+		if r.replyIdx == len(r.reply) {
+			r.state = rClosing
+		}
+
+	case rClosing:
+		r.link.Send(word.Word{Kind: word.DataIdle})
+		switch w.Kind {
+		case word.Status:
+			// Router-injected status toward us; skip its checksum words.
+			r.skipCk = word.ChecksumWords(r.e.cfg.Width)
+		case word.ChecksumWord:
+			if r.skipCk > 0 {
+				r.skipCk--
+			}
+		case word.Drop, word.Empty:
+			// Either an explicit close or the upstream going silent ends
+			// the connection; the message was verified at the TURN, so
+			// deliver it.
+			r.deliver()
+			r.reset()
+		}
+	}
+}
+
+func (r *receiver) assemble(w word.Word, cw int, cycle uint64) {
+	switch w.Kind {
+	case word.Data:
+		r.payload = append(r.payload, w)
+	case word.ChecksumWord:
+		r.ckbuf = append(r.ckbuf, w)
+		if len(r.ckbuf) == cw {
+			r.e2e = word.JoinChecksum(r.ckbuf, r.e.cfg.logicalWidth())
+			r.gotCk = true
+		}
+	case word.Turn:
+		r.turn()
+	case word.Drop:
+		r.reset() // aborted before the turn; nothing to deliver
+	case word.Empty:
+		r.reset() // upstream vanished
+	}
+	// DataIdle and stray words are skipped.
+}
+
+// turn handles the reversal request: verify the message and transmit the
+// reply (status, checksum of what we received, optional responder payload,
+// and a TURN handing the channel back).
+func (r *receiver) turn() {
+	var ck word.Checksum
+	for _, w := range r.payload {
+		ck.Add(w)
+	}
+	computed := ck.Sum()
+	intact := r.gotCk && computed == r.e2e
+	flags := word.StatusDest
+	if !intact {
+		flags |= word.StatusNack
+	}
+	width := r.e.cfg.logicalWidth()
+	reply := []word.Word{{Kind: word.Status, Payload: flags & word.Mask(width)}}
+	reply = append(reply, word.SplitChecksum(computed, width)...)
+	if intact && r.e.cfg.Responder != nil {
+		data := r.e.cfg.Responder(UnpackBytes(r.payload, width))
+		if len(data) > 0 {
+			dw := PackBytes(data, width)
+			var rck word.Checksum
+			for _, w := range dw {
+				rck.Add(w)
+			}
+			reply = append(reply, dw...)
+			reply = append(reply, word.SplitChecksum(rck.Sum(), width)...)
+		}
+	}
+	reply = append(reply, word.Word{Kind: word.Turn})
+	r.reply = reply
+	r.replyIdx = 0
+	r.replyDelay = 0
+	if intact && r.e.cfg.ResponderDelay != nil {
+		r.replyDelay = r.e.cfg.ResponderDelay(UnpackBytes(r.payload, width))
+	}
+	r.state = rReply
+	r.intact = intact
+}
+
+func (r *receiver) deliver() {
+	if r.e.cfg.OnDeliver != nil {
+		r.e.cfg.OnDeliver(UnpackBytes(r.payload, r.e.cfg.logicalWidth()), r.intact)
+	}
+}

@@ -1,0 +1,201 @@
+// Package nic implements the source-responsible network interfaces that
+// METRO routers are designed to work with (paper, Sections 1, 3, 4).
+//
+// Routers never buffer, never retry and never acknowledge: every
+// reliability obligation sits at the endpoints. A source interface builds
+// the routing header, streams the message with an end-to-end checksum,
+// reverses the connection with TURN, interprets the per-router STATUS and
+// CHECKSUM words injected into the return stream (localizing faults to a
+// stage when checksums disagree), verifies the destination's
+// acknowledgment, and retries the whole message when the connection
+// blocked, timed out, or was corrupted. Stochastic path selection inside
+// the routers makes each retry likely to take a different path, so retries
+// route around congestion and dynamic faults.
+package nic
+
+import (
+	"fmt"
+
+	"metro/internal/word"
+)
+
+// StageHeader describes what one router stage consumes from the head of a
+// data stream.
+type StageHeader struct {
+	// DirBits is the number of routing bits the stage consumes
+	// (log2 radix).
+	DirBits int
+	// HeaderWords is the stage's hw parameter: 0 for in-word bit
+	// stripping, >= 1 for whole-word consumption during pipelined setup.
+	HeaderWords int
+}
+
+// HeaderSpec captures everything a source needs to construct routing
+// headers for a particular network.
+type HeaderSpec struct {
+	// Width is the channel width w in bits.
+	Width int
+	// Stages lists the per-stage consumption, source side first.
+	Stages []StageHeader
+}
+
+// Validate checks that headers can actually be constructed.
+func (h HeaderSpec) Validate() error {
+	if h.Width < 1 || h.Width > 32 {
+		return fmt.Errorf("nic: width %d outside [1,32]", h.Width)
+	}
+	for s, st := range h.Stages {
+		if st.DirBits < 0 || st.DirBits > h.Width {
+			return fmt.Errorf("nic: stage %d needs %d routing bits, width is %d", s, st.DirBits, h.Width)
+		}
+		if st.HeaderWords < 0 {
+			return fmt.Errorf("nic: stage %d has negative header words", s)
+		}
+	}
+	return nil
+}
+
+// Build constructs the routing header words for the given per-stage
+// direction digits.
+//
+// For hw=0 stages, consecutive stages' digit bit-groups are packed into
+// shared ROUTE words low bits first; a group that would straddle a word
+// boundary starts a new word, and each word's Bits field counts exactly
+// the bits routers will consume, so every word exhausts to zero at some
+// stage and is swallowed there (see core.Router.parseRoute).
+//
+// An hw>=1 stage always gets its own ROUTE word carrying just its digit,
+// followed by hw-1 HEADER-PAD words, all of which that stage consumes.
+func (h HeaderSpec) Build(digits []int) []word.Word {
+	if len(digits) != len(h.Stages) {
+		panic(fmt.Sprintf("nic: %d digits for %d stages", len(digits), len(h.Stages)))
+	}
+	var out []word.Word
+	var cur uint32
+	bits := 0
+	flush := func() {
+		if bits > 0 {
+			out = append(out, word.MakeRoute(cur, bits))
+			cur, bits = 0, 0
+		}
+	}
+	for s, st := range h.Stages {
+		if st.HeaderWords >= 1 {
+			flush()
+			out = append(out, word.MakeRoute(uint32(digits[s]), st.DirBits))
+			for i := 1; i < st.HeaderWords; i++ {
+				out = append(out, word.Word{Kind: word.HeaderPad})
+			}
+			continue
+		}
+		if bits+st.DirBits > h.Width {
+			flush()
+		}
+		cur |= uint32(digits[s]) << uint(bits)
+		bits += st.DirBits
+	}
+	flush()
+	return out
+}
+
+// StripStage transforms a word stream the way stage s consumes it: the
+// words a stage-(s+1) router would receive. Used to compute the expected
+// per-stage checksums for fault localization.
+func (h HeaderSpec) StripStage(stream []word.Word, s int) []word.Word {
+	st := h.Stages[s]
+	out := make([]word.Word, 0, len(stream))
+	if st.HeaderWords >= 1 {
+		// The stage consumes the first hw words outright.
+		skip := st.HeaderWords
+		for _, w := range stream {
+			if skip > 0 {
+				skip--
+				continue
+			}
+			out = append(out, w)
+		}
+		return out
+	}
+	// hw == 0: strip DirBits from the first ROUTE word; swallow if
+	// exhausted (the default router configuration).
+	stripped := false
+	for _, w := range stream {
+		if !stripped && w.Kind == word.Route {
+			stripped = true
+			rem := int(w.Bits) - st.DirBits
+			if rem > 0 {
+				out = append(out, word.MakeRoute(w.Payload>>uint(st.DirBits), rem))
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ExpectedStageChecksums returns, for each stage, the CRC-8 a healthy
+// stage-s router reports after the first TURN: the checksum of the
+// forward-segment words as received at that stage. The source compares
+// these with the reported values to localize a corrupting link to the
+// first disagreeing stage.
+func (h HeaderSpec) ExpectedStageChecksums(sent []word.Word) []uint8 {
+	sums := make([]uint8, len(h.Stages))
+	stream := sent
+	for s := range h.Stages {
+		var ck word.Checksum
+		for _, w := range stream {
+			ck.Add(w)
+		}
+		sums[s] = ck.Sum()
+		stream = h.StripStage(stream, s)
+	}
+	return sums
+}
+
+// PackBytes packs a byte payload into width-bit data words as an LSB-first
+// bit stream: the first byte's low bit travels first. Works for any width
+// in [1, 32], including wide cascaded channels that carry several bytes
+// per word.
+func PackBytes(payload []byte, width int) []word.Word {
+	if width < 1 || width > 32 {
+		panic(fmt.Sprintf("nic: width %d outside [1,32]", width))
+	}
+	out := make([]word.Word, 0, (len(payload)*8+width-1)/width)
+	var acc uint64
+	accBits := 0
+	for _, b := range payload {
+		acc |= uint64(b) << uint(accBits)
+		accBits += 8
+		for accBits >= width {
+			out = append(out, word.MakeData(uint32(acc)&word.Mask(width), width))
+			acc >>= uint(width)
+			accBits -= width
+		}
+	}
+	if accBits > 0 {
+		out = append(out, word.MakeData(uint32(acc)&word.Mask(width), width))
+	}
+	return out
+}
+
+// UnpackBytes inverts PackBytes. Partial trailing bytes are discarded, but
+// note that when width > 8 and the original payload did not fill a whole
+// number of words, PackBytes added zero padding bits that decode as extra
+// trailing zero bytes: wide channels deliver payloads at channel-word
+// granularity, exactly as aligned hardware transfers do. Applications
+// needing byte-exact framing carry a length field in the payload.
+func UnpackBytes(words []word.Word, width int) []byte {
+	var out []byte
+	var acc uint64
+	accBits := 0
+	for _, w := range words {
+		acc |= uint64(w.Payload&word.Mask(width)) << uint(accBits)
+		accBits += width
+		for accBits >= 8 {
+			out = append(out, byte(acc))
+			acc >>= 8
+			accBits -= 8
+		}
+	}
+	return out
+}

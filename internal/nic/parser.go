@@ -1,0 +1,173 @@
+package nic
+
+import "metro/internal/word"
+
+// parser interprets the reversed-stream reply a source receives after its
+// TURN: one STATUS+CHECKSUM pair per router stage (in path order), then the
+// destination's STATUS+CHECKSUM, an optional reply payload with its own
+// checksum, and the TURN handing the channel back. A blocked connection
+// ends instead with the blocking router's STATUS(blocked), its checksum,
+// and a DROP.
+type parser struct {
+	width   int // physical component width (router checksum chunks)
+	logical int // logical channel width (destination/reply checksums)
+	lanes   int // cascade factor
+	stages  int
+
+	phase  pPhase
+	ckbuf  []word.Word
+	ckNeed int
+
+	// routerCks[stage][lane] is the CRC-8 each lane's routing component
+	// reported for that stage. On an uncascaded channel lanes == 1.
+	routerCks    [][]uint8
+	curBlocked   bool
+	blockedStage int
+
+	destStatus uint32
+	destCk     uint8
+
+	reply      []word.Word
+	replyCk    uint8
+	gotReplyCk bool
+
+	done   bool
+	closed bool
+	failed bool
+}
+
+type pPhase uint8
+
+const (
+	pStatus    pPhase = iota // awaiting a STATUS (router or destination)
+	pRouterCk                // collecting a router status' checksum words
+	pDestCk                  // collecting the destination's checksum words
+	pReply                   // collecting reply payload
+	pReplyCk                 // collecting the reply checksum words
+	pAwaitTurn               // reply checksum done; expecting TURN
+	pAwaitDrop               // blocked status seen; expecting DROP
+)
+
+func newParser(width, logical, lanes, stages int) parser {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if logical <= 0 {
+		logical = width * lanes
+	}
+	return parser{width: width, logical: logical, lanes: lanes,
+		stages: stages, blockedStage: -1}
+}
+
+// feed consumes one received word. Empty and DataIdle are transparent
+// everywhere (idle fill is inserted freely by routers).
+func (p *parser) feed(w word.Word) {
+	if p.done || p.closed || p.failed {
+		return
+	}
+	switch w.Kind {
+	case word.Empty, word.DataIdle:
+		return
+	case word.Drop:
+		// Connection closed by the far side: expected after a blocked
+		// status, an error anywhere else — either way the attempt is over.
+		p.closed = true
+		return
+	}
+
+	switch p.phase {
+	case pStatus:
+		if w.Kind != word.Status {
+			p.failed = true
+			return
+		}
+		if w.Payload&word.StatusDest != 0 {
+			p.destStatus = w.Payload
+			p.startCk(pDestCk)
+			return
+		}
+		p.curBlocked = w.Payload&word.StatusBlocked != 0
+		p.startCk(pRouterCk)
+
+	case pRouterCk, pDestCk, pReplyCk:
+		if w.Kind != word.ChecksumWord {
+			p.failed = true
+			return
+		}
+		p.ckbuf = append(p.ckbuf, w)
+		if len(p.ckbuf) < p.ckNeed {
+			return
+		}
+		switch p.phase {
+		case pRouterCk:
+			// Each lane's component reported its own CRC; the merged
+			// stream interleaves the chunks lane-wise within each word.
+			p.routerCks = append(p.routerCks, joinLaneChecksums(p.ckbuf, p.width, p.lanes))
+			if p.curBlocked {
+				p.blockedStage = len(p.routerCks) - 1
+				p.phase = pAwaitDrop
+			} else {
+				p.phase = pStatus
+			}
+		case pDestCk:
+			p.destCk = word.JoinChecksum(p.ckbuf, p.logical)
+			p.phase = pReply
+		case pReplyCk:
+			p.replyCk = word.JoinChecksum(p.ckbuf, p.logical)
+			p.gotReplyCk = true
+			p.phase = pAwaitTurn
+		}
+
+	case pReply:
+		switch w.Kind {
+		case word.Data:
+			p.reply = append(p.reply, w)
+		case word.ChecksumWord:
+			p.startCk(pReplyCk)
+			p.feed(w)
+		case word.Turn:
+			p.done = true
+		default:
+			p.failed = true
+		}
+
+	case pAwaitTurn:
+		if w.Kind == word.Turn {
+			p.done = true
+		} else {
+			p.failed = true
+		}
+
+	case pAwaitDrop:
+		// Only a DROP (handled above) legitimately follows; anything else
+		// is noise on a dying connection — ignore it.
+	}
+}
+
+func (p *parser) startCk(next pPhase) {
+	p.phase = next
+	p.ckbuf = p.ckbuf[:0]
+	if next == pRouterCk {
+		// Router checksums are produced at the physical component width
+		// (one group per lane, transmitted in lockstep).
+		p.ckNeed = word.ChecksumWords(p.width)
+	} else {
+		p.ckNeed = word.ChecksumWords(p.logical)
+	}
+}
+
+// joinLaneChecksums reconstructs each lane's CRC-8 from the merged
+// checksum words: word k of the group carries lane m's k-th chunk in bit
+// positions [m*width, (m+1)*width).
+func joinLaneChecksums(merged []word.Word, width, lanes int) []uint8 {
+	out := make([]uint8, lanes)
+	for lane := 0; lane < lanes; lane++ {
+		chunks := make([]word.Word, len(merged))
+		for k, w := range merged {
+			chunks[k] = word.Word{Kind: word.ChecksumWord,
+				Payload: (w.Payload >> uint(lane*width)) & word.Mask(width)}
+		}
+		out[lane] = word.JoinChecksum(chunks, width)
+	}
+	return out
+}

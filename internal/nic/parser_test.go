@@ -1,0 +1,146 @@
+package nic
+
+import (
+	"testing"
+
+	"metro/internal/word"
+)
+
+func feedAll(p *parser, ws ...word.Word) {
+	for _, w := range ws {
+		p.feed(w)
+	}
+}
+
+func statusWord(flags uint32) word.Word { return word.Word{Kind: word.Status, Payload: flags} }
+
+func TestParserHappyPath(t *testing.T) {
+	p := newParser(8, 8, 1, 2)
+	var ck word.Checksum
+	ck.AddByte(0x11)
+	feedAll(&p,
+		word.Word{Kind: word.DataIdle}, // idle fill is transparent
+		statusWord(0),                  // router 0
+		word.SplitChecksum(0xAA, 8)[0],
+		word.Word{Kind: word.DataIdle},
+		statusWord(0), // router 1
+		word.SplitChecksum(0xBB, 8)[0],
+		statusWord(word.StatusDest), // destination ack
+		word.SplitChecksum(0xCC, 8)[0],
+		word.Word{Kind: word.Turn},
+	)
+	if !p.done || p.failed || p.closed {
+		t.Fatalf("parser state: %+v", p)
+	}
+	if len(p.routerCks) != 2 || p.routerCks[0][0] != 0xAA || p.routerCks[1][0] != 0xBB {
+		t.Fatalf("router checksums = %#x", p.routerCks)
+	}
+	if p.destCk != 0xCC {
+		t.Fatalf("dest checksum = %#x", p.destCk)
+	}
+	if len(p.reply) != 0 {
+		t.Fatalf("unexpected reply words: %v", p.reply)
+	}
+}
+
+func TestParserWithReply(t *testing.T) {
+	p := newParser(8, 8, 1, 1)
+	feedAll(&p,
+		statusWord(0),
+		word.SplitChecksum(0x01, 8)[0],
+		statusWord(word.StatusDest),
+		word.SplitChecksum(0x02, 8)[0],
+		word.MakeData(0x10, 8),
+		word.MakeData(0x20, 8),
+		word.SplitChecksum(0x7F, 8)[0],
+		word.Word{Kind: word.Turn},
+	)
+	if !p.done {
+		t.Fatalf("parser not done: %+v", p)
+	}
+	if len(p.reply) != 2 || p.reply[0].Payload != 0x10 {
+		t.Fatalf("reply = %v", p.reply)
+	}
+	if !p.gotReplyCk || p.replyCk != 0x7F {
+		t.Fatalf("reply checksum = %#x (got=%v)", p.replyCk, p.gotReplyCk)
+	}
+}
+
+func TestParserBlockedAtStage(t *testing.T) {
+	p := newParser(8, 8, 1, 3)
+	feedAll(&p,
+		statusWord(0), // stage 0 fine
+		word.SplitChecksum(0x11, 8)[0],
+		statusWord(word.StatusBlocked), // stage 1 blocked
+		word.SplitChecksum(0x22, 8)[0],
+		word.Word{Kind: word.Drop},
+	)
+	if !p.closed {
+		t.Fatalf("parser should be closed: %+v", p)
+	}
+	if p.blockedStage != 1 {
+		t.Fatalf("blockedStage = %d, want 1", p.blockedStage)
+	}
+	if p.done {
+		t.Fatal("blocked parse must not be done")
+	}
+}
+
+func TestParserNackRecorded(t *testing.T) {
+	p := newParser(8, 8, 1, 1)
+	feedAll(&p,
+		statusWord(0),
+		word.SplitChecksum(0, 8)[0],
+		statusWord(word.StatusDest|word.StatusNack),
+		word.SplitChecksum(0, 8)[0],
+		word.Word{Kind: word.Turn},
+	)
+	if !p.done {
+		t.Fatalf("parser not done: %+v", p)
+	}
+	if p.destStatus&word.StatusNack == 0 {
+		t.Fatal("nack flag lost")
+	}
+}
+
+func TestParserSplitChecksumWidth4(t *testing.T) {
+	p := newParser(4, 4, 1, 1)
+	cks := word.SplitChecksum(0x5A, 4)
+	feedAll(&p, statusWord(0))
+	feedAll(&p, cks...)
+	if len(p.routerCks) != 1 || p.routerCks[0][0] != 0x5A {
+		t.Fatalf("router cks = %#x", p.routerCks)
+	}
+}
+
+func TestParserProtocolViolation(t *testing.T) {
+	p := newParser(8, 8, 1, 1)
+	feedAll(&p, word.MakeData(1, 8)) // data before any status
+	if !p.failed {
+		t.Fatal("data before status should fail the parse")
+	}
+}
+
+func TestParserDropAnywhereCloses(t *testing.T) {
+	p := newParser(8, 8, 1, 2)
+	feedAll(&p, statusWord(0), word.Word{Kind: word.Drop})
+	if !p.closed {
+		t.Fatal("drop should close the parse")
+	}
+}
+
+func TestParserNoiseAfterBlockedIgnored(t *testing.T) {
+	p := newParser(8, 8, 1, 2)
+	feedAll(&p,
+		statusWord(word.StatusBlocked),
+		word.SplitChecksum(0x10, 8)[0],
+		word.MakeData(0xFF, 8), // garbage on a dying connection
+		word.Word{Kind: word.Drop},
+	)
+	if p.failed {
+		t.Fatal("noise after blocked status must not fail the parse")
+	}
+	if !p.closed {
+		t.Fatal("drop should still close")
+	}
+}

@@ -1,0 +1,141 @@
+package scan
+
+import (
+	"math/bits"
+
+	"metro/internal/core"
+)
+
+// SettingsRegister adapts a router's run-time settings (Table 2) to a scan
+// data register. The bit layout, LSB (first-shifted) first:
+//
+//	dilation select      log2(max_d)+1 bits (encodes log2(d))
+//	forward port enable  i bits
+//	backward port enable o bits
+//	off-port drive       i+o bits
+//	fast reclaim         i bits
+//	swallow              i bits
+//	turn delay           bitsFor(max_vtd) bits per port, i+o ports
+//
+// Capture serializes the router's live settings; Update validates and
+// applies the shifted-in value, as the silicon's Update-DR would. An
+// invalid value (for example a dilation above max_d) is rejected and the
+// old settings stay in force.
+type SettingsRegister struct {
+	router *core.Router
+}
+
+// NewSettingsRegister builds the CONFIG register for a router.
+func NewSettingsRegister(r *core.Router) *SettingsRegister {
+	return &SettingsRegister{router: r}
+}
+
+func bitsFor(maxValue int) int {
+	if maxValue <= 0 {
+		return 1
+	}
+	return bits.Len(uint(maxValue))
+}
+
+// Len implements Register.
+func (s *SettingsRegister) Len() int {
+	cfg := s.router.Config()
+	n := bitsFor(log2i(cfg.MaxDilation)) // dilation select field
+	n += cfg.Inputs                      // forward enables
+	n += cfg.Outputs                     // backward enables
+	n += cfg.Inputs + cfg.Outputs        // off-port drive
+	n += cfg.Inputs                      // fast reclaim
+	n += cfg.Inputs                      // swallow
+	n += (cfg.Inputs + cfg.Outputs) * bitsFor(cfg.MaxVTD)
+	return n
+}
+
+// Capture implements Register.
+func (s *SettingsRegister) Capture() []bool {
+	cfg := s.router.Config()
+	set := s.router.Settings()
+	var out []bool
+	appendUint := func(v uint64, n int) {
+		out = append(out, UintToBits(v, n)...)
+	}
+	appendBools := func(bs []bool) { out = append(out, bs...) }
+
+	appendUint(uint64(log2i(set.Dilation)), bitsFor(log2i(cfg.MaxDilation)))
+	appendBools(set.ForwardEnabled)
+	appendBools(set.BackwardEnabled)
+	appendBools(set.OffPortDrive)
+	appendBools(set.FastReclaim)
+	appendBools(set.Swallow)
+	for _, td := range set.TurnDelay {
+		appendUint(uint64(td), bitsFor(cfg.MaxVTD))
+	}
+	return out
+}
+
+// Update implements Register.
+func (s *SettingsRegister) Update(in []bool) {
+	cfg := s.router.Config()
+	set := s.router.Settings()
+	pos := 0
+	take := func(n int) []bool {
+		if pos+n > len(in) {
+			n = len(in) - pos
+		}
+		if n <= 0 {
+			return nil
+		}
+		v := in[pos : pos+n]
+		pos += n
+		return v
+	}
+	takeUint := func(n int) uint64 { return BitsToUint(take(n)) }
+	takeBools := func(dst []bool) { copy(dst, take(len(dst))) }
+
+	set.Dilation = 1 << uint(takeUint(bitsFor(log2i(cfg.MaxDilation))))
+	takeBools(set.ForwardEnabled)
+	takeBools(set.BackwardEnabled)
+	takeBools(set.OffPortDrive)
+	takeBools(set.FastReclaim)
+	takeBools(set.Swallow)
+	tdBits := bitsFor(cfg.MaxVTD)
+	for i := range set.TurnDelay {
+		set.TurnDelay[i] = int(takeUint(tdBits))
+	}
+	// Apply only if valid; the silicon ignores illegal updates.
+	_ = s.router.ApplySettings(set)
+}
+
+func log2i(v int) int {
+	n := 0
+	for 1<<uint(n) < v {
+		n++
+	}
+	return n
+}
+
+// SetPortEnabled performs a read-modify-write of the CONFIG register
+// through any healthy TAP of the component, enabling or disabling one
+// port while leaving every other option untouched — the scan sequence a
+// host uses to isolate or restore a port during operation. backward
+// selects the backward-port enable bank; port indexes within the bank.
+// It returns false when no scan path works.
+func SetPortEnabled(m *MultiTAP, r *core.Router, backward bool, port int, on bool) bool {
+	reg := NewSettingsRegister(r)
+	bits, ok := m.ReadSettings(reg.Len())
+	if !ok {
+		return false
+	}
+	cfg := r.Config()
+	// Field layout per SettingsRegister: dilation select, forward
+	// enables, backward enables, ...
+	pos := bitsFor(log2i(cfg.MaxDilation))
+	if backward {
+		pos += cfg.Inputs
+	}
+	pos += port
+	if pos >= len(bits) {
+		return false
+	}
+	bits[pos] = on
+	return m.LoadSettings(bits)
+}

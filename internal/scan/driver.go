@@ -1,0 +1,111 @@
+package scan
+
+// Driver provides the host-side sequences a test controller clocks into a
+// TAP: instruction loads, data-register reads and writes. All sequences
+// leave the TAP in Run-Test/Idle.
+type Driver struct {
+	tap *TAP
+}
+
+// NewDriver wraps a TAP.
+func NewDriver(t *TAP) *Driver { return &Driver{tap: t} }
+
+// Reset forces Test-Logic-Reset (five TMS=1 clocks) and settles in
+// Run-Test/Idle.
+func (d *Driver) Reset() {
+	for i := 0; i < 5; i++ {
+		d.tap.Step(true, false)
+	}
+	d.tap.Step(false, false)
+}
+
+// LoadInstruction shifts an instruction into the IR.
+func (d *Driver) LoadInstruction(ins Instruction) {
+	// Run-Test/Idle -> Select-DR -> Select-IR -> Capture-IR -> Shift-IR.
+	d.tap.Step(true, false)
+	d.tap.Step(true, false)
+	d.tap.Step(false, false)
+	d.tap.Step(false, false)
+	for i := 0; i < irLen; i++ {
+		bit := uint8(ins)&(1<<uint(i)) != 0
+		tms := i == irLen-1 // exit on the last bit
+		d.tap.Step(tms, bit)
+	}
+	// Exit1-IR -> Update-IR -> Run-Test/Idle.
+	d.tap.Step(true, false)
+	d.tap.Step(false, false)
+}
+
+// ShiftData shifts n bits through the selected data register, writing the
+// given bits and returning the bits captured from the register. in may be
+// nil to shift zeros.
+func (d *Driver) ShiftData(n int, in []bool) []bool {
+	// Run-Test/Idle -> Select-DR -> Capture-DR -> Shift-DR.
+	d.tap.Step(true, false)
+	d.tap.Step(false, false)
+	d.tap.Step(false, false)
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		bit := false
+		if in != nil && i < len(in) {
+			bit = in[i]
+		}
+		tms := i == n-1
+		out[i] = d.tap.Step(tms, bit)
+	}
+	// Exit1-DR -> Update-DR -> Run-Test/Idle.
+	d.tap.Step(true, false)
+	d.tap.Step(false, false)
+	return out
+}
+
+// ReadRegister loads an instruction and reads back its register contents.
+// Because every DR scan passes Update-DR, a read inherently rewrites the
+// register with whatever was shifted in; like a real test controller, the
+// driver therefore performs a second scan writing the captured value back,
+// leaving the register unchanged.
+func (d *Driver) ReadRegister(ins Instruction, n int) []bool {
+	d.LoadInstruction(ins)
+	out := d.ShiftData(n, nil)
+	d.ShiftData(n, out)
+	return out
+}
+
+// WriteRegister loads an instruction and writes the register (the old
+// contents are returned).
+func (d *Driver) WriteRegister(ins Instruction, bits []bool) []bool {
+	d.LoadInstruction(ins)
+	return d.ShiftData(len(bits), bits)
+}
+
+// ReadIDCode returns the component's 32-bit identification code.
+func (d *Driver) ReadIDCode() uint32 {
+	bits := d.ReadRegister(IDCODE, 32)
+	var v uint32
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// BitsToUint packs LSB-first bits into an integer.
+func BitsToUint(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b && i < 64 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// UintToBits unpacks an integer into n LSB-first bits.
+func UintToBits(v uint64, n int) []bool {
+	bits := make([]bool, n)
+	for i := 0; i < n && i < 64; i++ {
+		bits[i] = v&(1<<uint(i)) != 0
+	}
+	return bits
+}

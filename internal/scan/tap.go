@@ -1,0 +1,290 @@
+// Package scan implements METRO's test and configuration access: an IEEE
+// 1149.1-1990 Test Access Port (TAP) controller extended with multiple
+// TAPs per component (MultiTAP) for tolerance to scan-path faults, the
+// configuration data register holding the Table 2 options, and the
+// port-isolation test facilities used for on-line fault diagnosis
+// (paper, Section 5.1, "Scan Support").
+//
+// A METRO router's mostly-static options — port enables, off-port drive,
+// turn delays, fast reclamation, swallow, dilation — are loaded through
+// these TAPs. Because each port can be disabled individually, a
+// forward/backward port pair, a whole component, or a network region can
+// be isolated and tested with boundary-scan-style patterns while the rest
+// of the router continues to route traffic; a localized fault is then left
+// disabled (masked) and the system returns to service.
+package scan
+
+import "fmt"
+
+// State is an IEEE 1149.1 TAP controller state.
+type State uint8
+
+// The sixteen TAP controller states.
+const (
+	TestLogicReset State = iota
+	RunTestIdle
+	SelectDRScan
+	CaptureDR
+	ShiftDR
+	Exit1DR
+	PauseDR
+	Exit2DR
+	UpdateDR
+	SelectIRScan
+	CaptureIR
+	ShiftIR
+	Exit1IR
+	PauseIR
+	Exit2IR
+	UpdateIR
+)
+
+var stateNames = [...]string{
+	"Test-Logic-Reset", "Run-Test/Idle",
+	"Select-DR-Scan", "Capture-DR", "Shift-DR", "Exit1-DR", "Pause-DR", "Exit2-DR", "Update-DR",
+	"Select-IR-Scan", "Capture-IR", "Shift-IR", "Exit1-IR", "Pause-IR", "Exit2-IR", "Update-IR",
+}
+
+// String returns the standard state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Next returns the successor state for a TMS value on the rising edge of
+// TCK, per the 1149.1 state diagram.
+func (s State) Next(tms bool) State {
+	if tms {
+		switch s {
+		case TestLogicReset:
+			return TestLogicReset
+		case RunTestIdle, UpdateDR, UpdateIR:
+			return SelectDRScan
+		case SelectDRScan:
+			return SelectIRScan
+		case CaptureDR, ShiftDR:
+			return Exit1DR
+		case Exit1DR, Exit2DR:
+			return UpdateDR
+		case PauseDR:
+			return Exit2DR
+		case SelectIRScan:
+			return TestLogicReset
+		case CaptureIR, ShiftIR:
+			return Exit1IR
+		case Exit1IR, Exit2IR:
+			return UpdateIR
+		case PauseIR:
+			return Exit2IR
+		}
+	} else {
+		switch s {
+		case TestLogicReset, RunTestIdle, UpdateDR, UpdateIR:
+			return RunTestIdle
+		case SelectDRScan:
+			return CaptureDR
+		case CaptureDR, ShiftDR:
+			return ShiftDR
+		case Exit1DR, PauseDR:
+			return PauseDR
+		case Exit2DR:
+			return ShiftDR
+		case SelectIRScan:
+			return CaptureIR
+		case CaptureIR, ShiftIR:
+			return ShiftIR
+		case Exit1IR, PauseIR:
+			return PauseIR
+		case Exit2IR:
+			return ShiftIR
+		}
+	}
+	return TestLogicReset
+}
+
+// Instruction selects the data register between TDI and TDO.
+type Instruction uint8
+
+// Supported instructions. IDCODE is selected in Test-Logic-Reset per the
+// standard; BYPASS is the all-ones instruction.
+const (
+	EXTEST Instruction = 0x0
+	IDCODE Instruction = 0x1
+	SAMPLE Instruction = 0x2
+	// CONFIG selects the METRO configuration register (Table 2 options).
+	CONFIG Instruction = 0x4
+	BYPASS Instruction = 0xF
+)
+
+// irLen is the instruction register length in bits.
+const irLen = 4
+
+// Register is a data register reachable through a TAP.
+type Register interface {
+	// Len returns the register length in bits.
+	Len() int
+	// Capture returns the value parallel-loaded in Capture-DR,
+	// least-significant (first shifted out) bit first.
+	Capture() []bool
+	// Update applies the shifted-in value at Update-DR.
+	Update(bits []bool)
+}
+
+// BitsRegister is a simple storage register (used for BYPASS, IDCODE and
+// tests).
+type BitsRegister struct {
+	bits     []bool
+	readOnly bool
+}
+
+// NewBitsRegister returns an n-bit register initialized to value (LSB
+// first).
+func NewBitsRegister(n int, value uint64, readOnly bool) *BitsRegister {
+	r := &BitsRegister{bits: make([]bool, n), readOnly: readOnly}
+	for i := 0; i < n && i < 64; i++ {
+		r.bits[i] = value&(1<<uint(i)) != 0
+	}
+	return r
+}
+
+// Len implements Register.
+func (r *BitsRegister) Len() int { return len(r.bits) }
+
+// Capture implements Register.
+func (r *BitsRegister) Capture() []bool { return append([]bool(nil), r.bits...) }
+
+// Update implements Register.
+func (r *BitsRegister) Update(bits []bool) {
+	if r.readOnly {
+		return
+	}
+	copy(r.bits, bits)
+}
+
+// Value returns the register contents as an integer (LSB first).
+func (r *BitsRegister) Value() uint64 {
+	var v uint64
+	for i, b := range r.bits {
+		if b && i < 64 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// TAP is one Test Access Port: the 1149.1 controller state machine, the
+// instruction register, and the data-register mux.
+type TAP struct {
+	name  string
+	state State
+
+	ir      Instruction
+	irShift []bool
+
+	regs    map[Instruction]Register
+	drShift []bool
+	drReg   Register
+
+	bypass *BitsRegister
+	broken bool
+}
+
+// NewTAP constructs a TAP with an IDCODE register carrying id and the
+// given instruction-to-register map (CONFIG, EXTEST, SAMPLE...). BYPASS
+// and IDCODE are always available.
+func NewTAP(name string, id uint32, regs map[Instruction]Register) *TAP {
+	m := map[Instruction]Register{
+		IDCODE: NewBitsRegister(32, uint64(id), true),
+	}
+	for k, v := range regs {
+		m[k] = v
+	}
+	t := &TAP{
+		name:   name,
+		state:  TestLogicReset,
+		ir:     IDCODE,
+		regs:   m,
+		bypass: NewBitsRegister(1, 0, false),
+	}
+	return t
+}
+
+// Name returns the TAP identifier.
+func (t *TAP) Name() string { return t.name }
+
+// State returns the controller state.
+func (t *TAP) State() State { return t.state }
+
+// Instruction returns the active instruction.
+func (t *TAP) Instruction() Instruction { return t.ir }
+
+// Break marks the TAP's scan path faulty: it stops responding (TDO stuck
+// low, state frozen), the condition MultiTAP redundancy tolerates.
+func (t *TAP) Break() { t.broken = true }
+
+// Broken reports whether the TAP is faulted.
+func (t *TAP) Broken() bool { return t.broken }
+
+// selected returns the data register addressed by the current instruction
+// (BYPASS for unknown codes, per the standard).
+func (t *TAP) selected() Register {
+	if r, ok := t.regs[t.ir]; ok {
+		return r
+	}
+	return t.bypass
+}
+
+// Step advances the TAP by one TCK rising edge with the given TMS and TDI
+// pin values, returning TDO.
+func (t *TAP) Step(tms, tdi bool) (tdo bool) {
+	if t.broken {
+		return false
+	}
+	// TDO presents the bit being shifted out before the state advances.
+	switch t.state {
+	case ShiftDR:
+		if len(t.drShift) > 0 {
+			tdo = t.drShift[0]
+			copy(t.drShift, t.drShift[1:])
+			t.drShift[len(t.drShift)-1] = tdi
+		}
+	case ShiftIR:
+		if len(t.irShift) > 0 {
+			tdo = t.irShift[0]
+			copy(t.irShift, t.irShift[1:])
+			t.irShift[len(t.irShift)-1] = tdi
+		}
+	}
+
+	t.state = t.state.Next(tms)
+
+	switch t.state {
+	case TestLogicReset:
+		t.ir = IDCODE
+	case CaptureDR:
+		t.drReg = t.selected()
+		t.drShift = t.drReg.Capture()
+	case UpdateDR:
+		if t.drReg != nil {
+			t.drReg.Update(t.drShift)
+		}
+	case CaptureIR:
+		// The standard captures 0b01 in the low bits; we capture the
+		// current instruction for observability.
+		t.irShift = make([]bool, irLen)
+		for i := 0; i < irLen; i++ {
+			t.irShift[i] = uint8(t.ir)&(1<<uint(i)) != 0
+		}
+	case UpdateIR:
+		var v uint8
+		for i := 0; i < irLen && i < len(t.irShift); i++ {
+			if t.irShift[i] {
+				v |= 1 << uint(i)
+			}
+		}
+		t.ir = Instruction(v)
+	}
+	return tdo
+}

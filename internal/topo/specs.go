@@ -1,0 +1,68 @@
+package topo
+
+// Figure1 returns the 16x16 multipath network of the paper's Figure 1:
+// two stages of 4x2 (inputs x radix) dilation-2 routers followed by a
+// stage of 4x4 dilation-1 routers, with two network connections per
+// endpoint. Losing any single final-stage router isolates no endpoint.
+func Figure1() Spec {
+	return Spec{
+		Endpoints:     16,
+		EndpointLinks: 2,
+		Stages: []StageSpec{
+			{Inputs: 4, Radix: 2, Dilation: 2},
+			{Inputs: 4, Radix: 2, Dilation: 2},
+			{Inputs: 4, Radix: 4, Dilation: 1},
+		},
+		Wiring: WiringInterleave,
+	}
+}
+
+// Figure3 returns the 3-stage, radix-4 network simulated in the paper's
+// Figure 3: the first two stages are 8x8 routers configured in dilation-2
+// (radix-4) mode, the final stage runs dilation-1 radix-4; 64 endpoints
+// with two network connections each.
+func Figure3() Spec {
+	return Spec{
+		Endpoints:     64,
+		EndpointLinks: 2,
+		Stages: []StageSpec{
+			{Inputs: 8, Radix: 4, Dilation: 2},
+			{Inputs: 8, Radix: 4, Dilation: 2},
+			{Inputs: 4, Radix: 4, Dilation: 1},
+		},
+		Wiring: WiringInterleave,
+	}
+}
+
+// Table3Network32 returns the 32-node multibutterfly used for the t20,32
+// application-latency estimates of Table 3 when built from METROJR-class
+// 4x4 routers: three dilation-2 radix-2 stages and a final dilation-1
+// radix-4 stage (4 routing stages total, as the Table 3 rows assume).
+func Table3Network32() Spec {
+	return Spec{
+		Endpoints:     32,
+		EndpointLinks: 2,
+		Stages: []StageSpec{
+			{Inputs: 4, Radix: 2, Dilation: 2},
+			{Inputs: 4, Radix: 2, Dilation: 2},
+			{Inputs: 4, Radix: 2, Dilation: 2},
+			{Inputs: 4, Radix: 4, Dilation: 1},
+		},
+		Wiring: WiringInterleave,
+	}
+}
+
+// Table3Network32Radix8 returns the 2-stage 32-node network assumed for
+// the Table 3 rows built from 8x8 METRO routers: a dilation-2 radix-4
+// stage followed by a dilation-1 radix-8 stage.
+func Table3Network32Radix8() Spec {
+	return Spec{
+		Endpoints:     32,
+		EndpointLinks: 2,
+		Stages: []StageSpec{
+			{Inputs: 8, Radix: 4, Dilation: 2},
+			{Inputs: 8, Radix: 8, Dilation: 1},
+		},
+		Wiring: WiringInterleave,
+	}
+}

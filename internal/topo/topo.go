@@ -1,0 +1,386 @@
+// Package topo constructs the multipath, multistage network topologies
+// METRO routers are designed for (paper, Section 2, Figure 1).
+//
+// In a multibutterfly-style network each stage subdivides the set of
+// possible destinations into classes determined by the radix of its routing
+// components; dilated routers provide multiple logically equivalent links
+// toward each class, creating many independent source-destination paths.
+// The final stage typically uses dilation-1 routers so that the complete
+// loss of any final-stage router isolates no endpoint (each endpoint's
+// delivery links come from distinct routers).
+//
+// The package is purely structural: it computes router counts, inter-stage
+// wiring (deterministically interleaved or randomly wired, as studied in
+// Leighton/Lisinski/Maggs), routing digit sequences, path enumeration and
+// structural fault-tolerance properties. Packages netsim and cascade
+// instantiate simulators from these descriptions.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Wiring selects how the logically equivalent wires between consecutive
+// stages are permuted onto the next stage's inputs.
+type Wiring int
+
+const (
+	// WiringInterleave spreads the dilated outputs of each router across
+	// distinct downstream routers in a deterministic round-robin, a
+	// canonical construction with good expansion.
+	WiringInterleave Wiring = iota
+	// WiringRandom applies a seeded random permutation — the randomly
+	// wired multibutterfly of the literature.
+	WiringRandom
+)
+
+// String returns the wiring mnemonic.
+func (w Wiring) String() string {
+	switch w {
+	case WiringInterleave:
+		return "interleave"
+	case WiringRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Wiring(%d)", int(w))
+	}
+}
+
+// StageSpec describes the routers forming one network stage.
+type StageSpec struct {
+	// Inputs is the number of forward ports used on each router.
+	Inputs int
+	// Radix is the number of logical output directions.
+	Radix int
+	// Dilation is the number of equivalent backward ports per direction.
+	Dilation int
+}
+
+// Outputs returns the backward ports per router in this stage.
+func (s StageSpec) Outputs() int { return s.Radix * s.Dilation }
+
+// Spec describes a complete multipath multistage network.
+type Spec struct {
+	// Endpoints is the number of network endpoints (sources=destinations).
+	Endpoints int
+	// EndpointLinks is the number of injection links and delivery links
+	// per endpoint (2 in Figure 1, for fault tolerance).
+	EndpointLinks int
+	// Stages lists the router stages from the source side to the
+	// destination side.
+	Stages []StageSpec
+	// Wiring selects the inter-stage permutation style.
+	Wiring Wiring
+	// Seed drives WiringRandom; ignored for WiringInterleave.
+	Seed int64
+}
+
+// NodeKind distinguishes the two node types a wire can attach to.
+type NodeKind int
+
+const (
+	// KindRouter identifies a router port.
+	KindRouter NodeKind = iota
+	// KindEndpoint identifies an endpoint link.
+	KindEndpoint
+)
+
+// PortRef identifies one attachment point of a wire.
+type PortRef struct {
+	Kind NodeKind
+	// Stage and Index locate a router (Kind == KindRouter); for endpoints
+	// Index is the endpoint number and Stage is -1.
+	Stage, Index int
+	// Port is the router forward-port index, or the endpoint link index.
+	Port int
+}
+
+// String formats the reference for traces.
+func (p PortRef) String() string {
+	if p.Kind == KindEndpoint {
+		return fmt.Sprintf("ep%d.%d", p.Index, p.Port)
+	}
+	return fmt.Sprintf("s%dr%d.f%d", p.Stage, p.Index, p.Port)
+}
+
+// Topology is a fully elaborated network: router counts per stage plus the
+// complete wiring.
+type Topology struct {
+	Spec Spec
+	// RoutersPerStage[s] is the number of routers in stage s.
+	RoutersPerStage []int
+	// BlocksPerStage[s] is the number of destination-class blocks at the
+	// input of stage s (1 at stage 0, multiplied by each radix).
+	BlocksPerStage []int
+	// Inject[e][k] gives the stage-0 forward port fed by endpoint e's
+	// injection link k.
+	Inject [][]PortRef
+	// Out[s][j][bp] gives the attachment of backward port bp of router j
+	// in stage s: a forward port in stage s+1, or an endpoint delivery
+	// link after the last stage.
+	Out [][][]PortRef
+}
+
+// Build validates the specification and elaborates the full topology.
+func Build(spec Spec) (*Topology, error) {
+	if err := Validate(spec); err != nil {
+		return nil, err
+	}
+	t := &Topology{Spec: spec}
+	S := len(spec.Stages)
+
+	t.BlocksPerStage = make([]int, S+1)
+	t.BlocksPerStage[0] = 1
+	for s, st := range spec.Stages {
+		t.BlocksPerStage[s+1] = t.BlocksPerStage[s] * st.Radix
+	}
+
+	// Wire conservation: all outputs of stage s feed the inputs of stage
+	// s+1, so R_{s+1} = R_s * o_s / i_{s+1} with R_0 = N*ne/i_0.
+	t.RoutersPerStage = make([]int, S)
+	wires := spec.Endpoints * spec.EndpointLinks
+	for s, st := range spec.Stages {
+		t.RoutersPerStage[s] = wires / st.Inputs
+		wires = t.RoutersPerStage[s] * st.Outputs()
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Injection wiring: wire w = e*ne + k attaches to router (w mod R0),
+	// input (w div R0), spreading each endpoint's links over distinct
+	// routers.
+	ne := spec.EndpointLinks
+	r0 := t.RoutersPerStage[0]
+	t.Inject = make([][]PortRef, spec.Endpoints)
+	for e := 0; e < spec.Endpoints; e++ {
+		t.Inject[e] = make([]PortRef, ne)
+		for k := 0; k < ne; k++ {
+			w := e*ne + k
+			t.Inject[e][k] = PortRef{Kind: KindRouter, Stage: 0, Index: w % r0, Port: w / r0}
+		}
+	}
+
+	// Inter-stage wiring, block by block.
+	t.Out = make([][][]PortRef, S)
+	for s, st := range spec.Stages {
+		rs := t.RoutersPerStage[s]
+		t.Out[s] = make([][]PortRef, rs)
+		for j := range t.Out[s] {
+			t.Out[s][j] = make([]PortRef, st.Outputs())
+		}
+		blocks := t.BlocksPerStage[s]
+		perBlock := rs / blocks
+		for b := 0; b < blocks; b++ {
+			for q := 0; q < st.Radix; q++ {
+				// Wires leaving block b in direction q, router-major.
+				type wireSrc struct{ j, bp int }
+				var srcs []wireSrc
+				for p := 0; p < perBlock; p++ {
+					j := b*perBlock + p
+					for dd := 0; dd < st.Dilation; dd++ {
+						srcs = append(srcs, wireSrc{j, q*st.Dilation + dd})
+					}
+				}
+				subBlock := b*st.Radix + q
+				targets := t.targetPorts(s+1, subBlock, len(srcs))
+				if spec.Wiring == WiringRandom {
+					rng.Shuffle(len(targets), func(x, y int) {
+						targets[x], targets[y] = targets[y], targets[x]
+					})
+				}
+				for x, src := range srcs {
+					t.Out[s][src.j][src.bp] = targets[x]
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// targetPorts lists the n attachment points of block `block` at the input
+// of stage s (or the endpoint delivery links when s equals the stage
+// count), in interleaved order: consecutive wires hit distinct routers.
+func (t *Topology) targetPorts(s, block, n int) []PortRef {
+	out := make([]PortRef, 0, n)
+	if s == len(t.Spec.Stages) {
+		// block == destination endpoint; its delivery links.
+		for k := 0; k < t.Spec.EndpointLinks; k++ {
+			out = append(out, PortRef{Kind: KindEndpoint, Stage: -1, Index: block, Port: k})
+		}
+		return out
+	}
+	perBlock := t.RoutersPerStage[s] / t.BlocksPerStage[s]
+	// Interleave: wire x -> router (x mod perBlock), input (x div perBlock).
+	for x := 0; x < n; x++ {
+		j := block*perBlock + x%perBlock
+		out = append(out, PortRef{Kind: KindRouter, Stage: s, Index: j, Port: x / perBlock})
+	}
+	return out
+}
+
+// Validate checks the structural constraints of a specification.
+func Validate(spec Spec) error {
+	if spec.Endpoints < 2 {
+		return fmt.Errorf("topo: need at least 2 endpoints, got %d", spec.Endpoints)
+	}
+	if spec.EndpointLinks < 1 {
+		return fmt.Errorf("topo: need at least 1 endpoint link, got %d", spec.EndpointLinks)
+	}
+	if len(spec.Stages) == 0 {
+		return fmt.Errorf("topo: need at least one stage")
+	}
+	prod := 1
+	for s, st := range spec.Stages {
+		if st.Inputs < 1 || st.Radix < 2 || st.Dilation < 1 {
+			return fmt.Errorf("topo: stage %d malformed: %+v", s, st)
+		}
+		if !isPow2(st.Inputs) || !isPow2(st.Radix) || !isPow2(st.Dilation) {
+			return fmt.Errorf("topo: stage %d parameters must be powers of two: %+v", s, st)
+		}
+		prod *= st.Radix
+	}
+	if prod != spec.Endpoints {
+		return fmt.Errorf("topo: radix product %d != endpoints %d", prod, spec.Endpoints)
+	}
+
+	// Wire-count conservation through the stages.
+	wiresPerBlock := spec.Endpoints * spec.EndpointLinks // block 0 covers everything
+	blocks := 1
+	for s, st := range spec.Stages {
+		if wiresPerBlock%st.Inputs != 0 {
+			return fmt.Errorf("topo: stage %d: %d wires per block not divisible by %d inputs",
+				s, wiresPerBlock, st.Inputs)
+		}
+		perBlock := wiresPerBlock / st.Inputs
+		if perBlock < 1 {
+			return fmt.Errorf("topo: stage %d has no routers per block", s)
+		}
+		wiresPerBlock = perBlock * st.Dilation
+		blocks *= st.Radix
+	}
+	if wiresPerBlock != spec.EndpointLinks {
+		return fmt.Errorf("topo: final stage delivers %d links per endpoint, want %d",
+			wiresPerBlock, spec.EndpointLinks)
+	}
+	return nil
+}
+
+// RouteDigits returns the per-stage direction digits selecting destination
+// endpoint dest: digit s is the direction a stage-s router must switch
+// toward. Stage 0 consumes the most significant digit.
+func (t *Topology) RouteDigits(dest int) []int {
+	digits := make([]int, len(t.Spec.Stages))
+	span := t.Spec.Endpoints
+	rem := dest
+	for s, st := range t.Spec.Stages {
+		span /= st.Radix
+		digits[s] = rem / span
+		rem %= span
+	}
+	return digits
+}
+
+// DestOf inverts RouteDigits: the endpoint reached by following the digit
+// sequence.
+func (t *Topology) DestOf(digits []int) int {
+	dest := 0
+	span := t.Spec.Endpoints
+	for s, st := range t.Spec.Stages {
+		span /= st.Radix
+		dest += digits[s] * span
+	}
+	return dest
+}
+
+// RouterCount returns the total routers in the network.
+func (t *Topology) RouterCount() int {
+	n := 0
+	for _, r := range t.RoutersPerStage {
+		n += r
+	}
+	return n
+}
+
+// LinkCount returns the total links (injection + inter-stage + delivery).
+func (t *Topology) LinkCount() int {
+	n := t.Spec.Endpoints * t.Spec.EndpointLinks
+	for s, st := range t.Spec.Stages {
+		n += t.RoutersPerStage[s] * st.Outputs()
+	}
+	return n
+}
+
+// StageOf reports which stage a router index belongs to given a flat
+// router numbering (stage by stage).
+func (t *Topology) StageOf(flat int) (stage, index int) {
+	for s, r := range t.RoutersPerStage {
+		if flat < r {
+			return s, flat
+		}
+		flat -= r
+	}
+	return -1, -1
+}
+
+// PathCount counts the distinct source-to-destination paths from endpoint
+// src to endpoint dest, excluding none of the network elements. It follows
+// every injection link and, at each stage, every equivalent backward port
+// in the required direction.
+func (t *Topology) PathCount(src, dest int) int {
+	digits := t.RouteDigits(dest)
+	total := 0
+	for _, inj := range t.Inject[src] {
+		total += t.countFrom(inj, digits, dest)
+	}
+	return total
+}
+
+func (t *Topology) countFrom(at PortRef, digits []int, dest int) int {
+	if at.Kind == KindEndpoint {
+		if at.Index == dest {
+			return 1
+		}
+		return 0
+	}
+	st := t.Spec.Stages[at.Stage]
+	q := digits[at.Stage]
+	n := 0
+	for dd := 0; dd < st.Dilation; dd++ {
+		bp := q*st.Dilation + dd
+		n += t.countFrom(t.Out[at.Stage][at.Index][bp], digits, dest)
+	}
+	return n
+}
+
+// Reachable reports whether dest can be reached from src when the routers
+// in deadRouters (keyed by stage/index) are removed from the network.
+func (t *Topology) Reachable(src, dest int, deadRouters map[[2]int]bool) bool {
+	digits := t.RouteDigits(dest)
+	for _, inj := range t.Inject[src] {
+		if t.reachFrom(inj, digits, dest, deadRouters) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Topology) reachFrom(at PortRef, digits []int, dest int, dead map[[2]int]bool) bool {
+	if at.Kind == KindEndpoint {
+		return at.Index == dest
+	}
+	if dead[[2]int{at.Stage, at.Index}] {
+		return false
+	}
+	st := t.Spec.Stages[at.Stage]
+	q := digits[at.Stage]
+	for dd := 0; dd < st.Dilation; dd++ {
+		bp := q*st.Dilation + dd
+		if t.reachFrom(t.Out[at.Stage][at.Index][bp], digits, dest, dead) {
+			return true
+		}
+	}
+	return false
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

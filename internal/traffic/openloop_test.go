@@ -1,0 +1,104 @@
+package traffic
+
+import (
+	"testing"
+
+	"metro/internal/netsim"
+	"metro/internal/topo"
+)
+
+func openSpec(load float64) RunSpec {
+	return RunSpec{
+		Net: netsim.Params{
+			Spec:        topo.Figure1(),
+			Width:       8,
+			DataPipe:    1,
+			LinkDelay:   1,
+			FastReclaim: true,
+			Seed:        5,
+			RetryLimit:  1000,
+		},
+		Load:          load,
+		MsgBytes:      8,
+		WarmupCycles:  1000,
+		MeasureCycles: 6000,
+		Seed:          77,
+	}
+}
+
+func TestOpenLoopLightLoadDelivers(t *testing.T) {
+	p, err := RunOpenLoop(openSpec(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Messages < 30 {
+		t.Fatalf("too few messages: %d", p.Messages)
+	}
+	if p.Delivered != p.Messages {
+		t.Fatalf("light open-loop load lost messages: %d/%d", p.Delivered, p.Messages)
+	}
+	// Accepted tracks offered at light load.
+	if p.AcceptedLoad < 0.05 || p.AcceptedLoad > 0.2 {
+		t.Fatalf("accepted load %f far from offered 0.1", p.AcceptedLoad)
+	}
+}
+
+func TestOpenLoopSaturates(t *testing.T) {
+	light, err := RunOpenLoop(openSpec(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := RunOpenLoop(openSpec(1.5)) // far past saturation
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accepted load saturates well below the offered 1.5.
+	if heavy.AcceptedLoad > 0.9 {
+		t.Fatalf("accepted load %f did not saturate", heavy.AcceptedLoad)
+	}
+	if heavy.AcceptedLoad <= light.AcceptedLoad {
+		t.Fatalf("saturated throughput %f not above light-load %f",
+			heavy.AcceptedLoad, light.AcceptedLoad)
+	}
+	// Queueing delay diverges past saturation while network transit
+	// latency stays bounded.
+	if heavy.QueueLatency.Mean < 3*heavy.Latency.Mean {
+		t.Fatalf("queueing delay %f did not diverge (transit %f)",
+			heavy.QueueLatency.Mean, heavy.Latency.Mean)
+	}
+}
+
+func TestOpenLoopQueueBound(t *testing.T) {
+	driver := &OpenLoop{Load: 5, MsgBytes: 8, Seed: 1, MaxQueue: 4}
+	params := netsim.Params{
+		Spec: topo.Figure1(), Width: 8, FastReclaim: true, Seed: 2,
+		RetryLimit: 100, OnResult: driver.OnResult,
+	}
+	n, err := netsim.Build(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver.Bind(n)
+	n.Run(2000)
+	for e, ep := range n.Endpoints {
+		// Retried messages requeue at the front, so the backlog can
+		// briefly exceed the generation bound by the in-flight count
+		// (two senders per endpoint).
+		if ep.QueueLen() > 4+2 {
+			t.Fatalf("endpoint %d queue %d exceeds bound", e, ep.QueueLen())
+		}
+	}
+	if driver.Injected() == 0 {
+		t.Fatal("no messages generated")
+	}
+}
+
+func TestSweepOpenLoop(t *testing.T) {
+	points, err := SweepOpenLoop(openSpec(0), []float64{0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Messages == 0 || points[1].Messages == 0 {
+		t.Fatalf("sweep incomplete: %+v", points)
+	}
+}

@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"metro/internal/netsim"
+	"metro/internal/nic"
+	"metro/internal/stats"
+)
+
+// RunSpec describes one closed-loop measurement run.
+type RunSpec struct {
+	// Net configures the network. Any OnResult hook it carries is
+	// chained after the driver's own accounting.
+	Net netsim.Params
+	// Load is the target offered load in (0, 1].
+	Load float64
+	// MsgBytes is the payload size.
+	MsgBytes int
+	// Pattern selects destinations; nil means Uniform.
+	Pattern Pattern
+	// Outstanding is the per-endpoint in-flight bound (default 1).
+	Outstanding int
+	// WarmupCycles are excluded from measurement.
+	WarmupCycles uint64
+	// MeasureCycles is the measured interval length.
+	MeasureCycles uint64
+	// Seed drives the workload.
+	Seed int64
+}
+
+// Run executes one closed-loop simulation and summarizes it.
+func Run(spec RunSpec) (stats.LoadPoint, error) {
+	driver := &ClosedLoop{
+		Load:        spec.Load,
+		MsgBytes:    spec.MsgBytes,
+		Pattern:     spec.Pattern,
+		Outstanding: spec.Outstanding,
+		Seed:        spec.Seed,
+		Warmup:      spec.WarmupCycles,
+	}
+	prev := spec.Net.OnResult
+	spec.Net.OnResult = func(r nic.Result) {
+		driver.OnResult(r)
+		if prev != nil {
+			prev(r)
+		}
+	}
+	n, err := netsim.Build(spec.Net)
+	if err != nil {
+		return stats.LoadPoint{}, err
+	}
+	driver.Bind(n)
+	n.Run(spec.WarmupCycles + spec.MeasureCycles)
+	return driver.Point(), nil
+}
+
+// Sweep runs the spec across a series of offered loads, producing a
+// load-latency curve (the paper's Figure 3).
+func Sweep(spec RunSpec, loads []float64) ([]stats.LoadPoint, error) {
+	points := make([]stats.LoadPoint, 0, len(loads))
+	for _, l := range loads {
+		spec.Load = l
+		p, err := Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}

@@ -1,0 +1,102 @@
+package word
+
+// Checksum is the running CRC-8 (polynomial x^8+x^2+x+1, i.e. 0x07) that
+// METRO routers compute over the words they forward and that endpoints
+// compute over message payloads. Each router reports its checksum in the
+// reversed stream after a TURN, which lets a source localize a corrupting
+// link by finding the first router whose reported checksum disagrees with
+// the expected value.
+//
+// The zero value is ready to use.
+type Checksum struct {
+	crc uint8
+}
+
+// crc8Table is the byte-at-a-time table for polynomial 0x07 (CRC-8/ATM).
+var crc8Table = func() [256]uint8 {
+	var t [256]uint8
+	for i := 0; i < 256; i++ {
+		c := uint8(i)
+		for b := 0; b < 8; b++ {
+			if c&0x80 != 0 {
+				c = c<<1 ^ 0x07
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}()
+
+// Reset clears the running checksum, as happens in a router at each
+// connection reversal (the checksum covers one transmission segment).
+func (c *Checksum) Reset() { c.crc = 0 }
+
+// AddByte folds one byte into the checksum.
+func (c *Checksum) AddByte(b uint8) { c.crc = crc8Table[c.crc^b] }
+
+// Add folds a word into the checksum. Only stream content words contribute:
+// Route, HeaderPad, Data and ChecksumWord payloads are covered, control
+// words (DataIdle, Turn, Status, Drop, Empty) are not, since idle fill and
+// reversal tokens may legitimately differ between path segments.
+func (c *Checksum) Add(w Word) {
+	switch w.Kind {
+	case Route, HeaderPad, Data, ChecksumWord:
+		c.AddByte(uint8(w.Payload))
+	}
+}
+
+// Sum returns the current CRC-8 value.
+func (c *Checksum) Sum() uint8 { return c.crc }
+
+// ChecksumWords returns the number of w-bit words needed to carry a CRC-8
+// value on a channel of the given width.
+func ChecksumWords(width int) int {
+	if width <= 0 {
+		return 0
+	}
+	n := 8 / width
+	if 8%width != 0 {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SplitChecksum splits a CRC-8 value into ChecksumWords(width) channel words,
+// least-significant chunk first.
+func SplitChecksum(sum uint8, width int) []Word {
+	n := ChecksumWords(width)
+	out := make([]Word, n)
+	v := uint32(sum)
+	for i := 0; i < n; i++ {
+		out[i] = Word{Kind: ChecksumWord, Payload: v & Mask(width)}
+		v >>= uint(min(width, 32))
+	}
+	return out
+}
+
+// JoinChecksum reassembles a CRC-8 value from channel words produced by
+// SplitChecksum. Words beyond the CRC-8 width are ignored.
+func JoinChecksum(words []Word, width int) uint8 {
+	var v uint32
+	shift := 0
+	for _, w := range words {
+		v |= (w.Payload & Mask(width)) << uint(shift)
+		shift += width
+		if shift >= 8 {
+			break
+		}
+	}
+	return uint8(v)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+// Package word defines the symbol alphabet transmitted on METRO network
+// channels, together with the CRC-8 checksum the routers and network
+// interfaces compute over transmitted streams.
+//
+// A METRO channel transfers one w-bit word per clock cycle. Besides ordinary
+// data, the architecture defines several designated control words that are
+// outside the normal band of data encodings (paper, Sections 4-5):
+//
+//   - ROUTE: the leading words of a stream carrying the routing
+//     specification. Routers consume direction bits from these words.
+//   - DATA-IDLE: holds a connection open when no data is available, used by
+//     endpoints for variable-delay replies and by routers to fill pipeline
+//     bubbles created by connection reversal and variable turn delay.
+//   - TURN: reverses the direction of an open connection.
+//   - STATUS and CHECKSUM: injected by each router into the reversed stream,
+//     reporting whether the connection was blocked and the checksum of the
+//     forwarded data, enabling source-side fault localization.
+//   - DROP: closes the connection as it propagates, releasing resources.
+//
+// The backward control bit (BCB) used for fast path reclamation is carried
+// out-of-band by the link model (package link), not as a Word.
+package word
+
+import "fmt"
+
+// Kind identifies the class of symbol on a channel during one clock cycle.
+type Kind uint8
+
+// Symbol kinds. Empty means the channel is idle: no connection is open and
+// nothing is being transmitted. All other kinds are valid only within an
+// open (or opening) connection.
+const (
+	// Empty is the absence of a symbol: the channel carries no connection.
+	Empty Kind = iota
+	// Route carries routing-specification bits consumed by routers during
+	// connection setup. Payload holds the bits; Bits counts how many of
+	// them are still unconsumed.
+	Route
+	// HeaderPad is a setup padding word consumed from the stream head by a
+	// router with HeaderWords > 0 (pipelined connection setup).
+	HeaderPad
+	// Data is an ordinary w-bit payload word.
+	Data
+	// DataIdle holds an open connection while no data is available.
+	DataIdle
+	// Turn requests reversal of the open connection's direction.
+	Turn
+	// Status is injected by a router (or endpoint) after a reversal and
+	// reports the connection state at that node. See Status* payload bits.
+	Status
+	// ChecksumWord carries (part of) a CRC-8 checksum; routers inject one
+	// after their Status word, and endpoints append one to each message.
+	ChecksumWord
+	// Drop closes the connection as it propagates, releasing the ports and
+	// links it passes. Valid in both transmission directions.
+	Drop
+)
+
+var kindNames = [...]string{
+	Empty:        "EMPTY",
+	Route:        "ROUTE",
+	HeaderPad:    "HDRPAD",
+	Data:         "DATA",
+	DataIdle:     "IDLE",
+	Turn:         "TURN",
+	Status:       "STATUS",
+	ChecksumWord: "CKSUM",
+	Drop:         "DROP",
+}
+
+// String returns the conventional mnemonic for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Status word payload bits.
+const (
+	// StatusBlocked indicates the connection was blocked at the reporting
+	// router: no backward port in the requested direction was available.
+	StatusBlocked uint32 = 1 << 0
+	// StatusDest indicates the Status word was produced by the destination
+	// endpoint rather than a router.
+	StatusDest uint32 = 1 << 1
+	// StatusNack indicates the destination detected a checksum mismatch on
+	// the received message.
+	StatusNack uint32 = 1 << 2
+)
+
+// Word is one symbol as transferred across a channel in one clock cycle.
+//
+// Payload is masked to the channel width w by the sending node; Bits is
+// metadata used only for Route words (the number of routing bits in Payload
+// that have not yet been consumed by a router).
+type Word struct {
+	Kind    Kind
+	Payload uint32
+	Bits    uint8
+}
+
+// IsEmpty reports whether the word carries no symbol.
+func (w Word) IsEmpty() bool { return w.Kind == Empty }
+
+// String formats the word for traces and test failures.
+func (w Word) String() string {
+	switch w.Kind {
+	case Route:
+		return fmt.Sprintf("ROUTE(%#x/%db)", w.Payload, w.Bits)
+	case Data, Status, ChecksumWord:
+		return fmt.Sprintf("%s(%#x)", w.Kind, w.Payload)
+	default:
+		return w.Kind.String()
+	}
+}
+
+// MakeData returns a Data word carrying payload masked to width bits.
+func MakeData(payload uint32, width int) Word {
+	return Word{Kind: Data, Payload: payload & Mask(width)}
+}
+
+// MakeRoute returns a Route word carrying bits routing bits.
+func MakeRoute(payload uint32, bits int) Word {
+	return Word{Kind: Route, Payload: payload, Bits: uint8(bits)}
+}
+
+// Mask returns a bit mask covering a width-bit payload.
+func Mask(width int) uint32 {
+	if width >= 32 {
+		return ^uint32(0)
+	}
+	return (1 << uint(width)) - 1
+}
