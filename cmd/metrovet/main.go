@@ -1,0 +1,130 @@
+// Command metrovet is the repository's determinism and simulator-
+// discipline static-analysis pass (see docs/DETERMINISM.md).
+//
+// Usage:
+//
+//	go run ./cmd/metrovet [flags] [./... | ./dir | ./dir/...]
+//
+// It walks the requested packages, runs every analyzer in
+// internal/analysis, prints findings as "file:line: rule-id: message"
+// and exits nonzero if any finding is neither inline-suppressed nor
+// baselined. CI runs it alongside go vet.
+//
+// Flags:
+//
+//	-baseline file        read accepted findings from file
+//	-write-baseline file  write current findings to file and exit 0
+//	-rules                print the rule set and exit
+//	-v                    also print type-checker diagnostics (normally
+//	                      silent: a tree that builds has none)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"metro/internal/analysis"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "read accepted findings from `file`")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to `file` and exit 0")
+	listRules := flag.Bool("rules", false, "print the rule set and exit")
+	verbose := flag.Bool("v", false, "print type-checker diagnostics")
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []analysis.Finding
+	for _, p := range pkgs {
+		if *verbose {
+			for _, terr := range p.TypeErrs {
+				fmt.Fprintf(os.Stderr, "metrovet: %s: typecheck: %v\n", p.ImportPath, terr)
+			}
+		}
+		for _, a := range analysis.Analyzers() {
+			findings = append(findings, a.Run(p)...)
+		}
+	}
+	// Report module-relative paths so baselines and CI logs are stable
+	// across checkouts.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	analysis.SortFindings(findings)
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := analysis.WriteBaseline(f, findings); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrovet: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		base, err := analysis.ReadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		findings = base.Filter(findings)
+	}
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "metrovet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the first go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("metrovet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metrovet:", err)
+	os.Exit(2)
+}

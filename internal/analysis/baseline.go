@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A baseline lets a tree with known, not-yet-fixed findings run metrovet
+// clean while still failing on anything new. Entries match findings by
+// file, rule and message — deliberately NOT by line number, so unrelated
+// edits above a finding do not churn the file.
+//
+// Format, one finding per line (lines starting with # and blank lines are
+// ignored):
+//
+//	<file>: <rule-id>: <message>
+
+// baselineKey is the line-independent identity of a finding.
+type baselineKey struct {
+	File string
+	Rule string
+	Msg  string
+}
+
+// Baseline is a set of accepted findings.
+type Baseline map[baselineKey]bool
+
+// ReadBaseline parses a baseline file.
+func ReadBaseline(path string) (Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBaseline(f)
+}
+
+func parseBaseline(r io.Reader) (Baseline, error) {
+	b := Baseline{}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		file, rest, ok := strings.Cut(line, ": ")
+		if !ok {
+			return nil, fmt.Errorf("baseline line %d: want \"file: rule: message\", got %q", lineno, line)
+		}
+		rule, msg, ok := strings.Cut(rest, ": ")
+		if !ok {
+			return nil, fmt.Errorf("baseline line %d: want \"file: rule: message\", got %q", lineno, line)
+		}
+		b[baselineKey{strings.TrimSpace(file), strings.TrimSpace(rule), strings.TrimSpace(msg)}] = true
+	}
+	return b, sc.Err()
+}
+
+// Filter removes findings covered by the baseline. Finding filenames must
+// already be in the same (module-relative) form the baseline uses.
+func (b Baseline) Filter(fs []Finding) []Finding {
+	if len(b) == 0 {
+		return fs
+	}
+	out := fs[:0]
+	for _, f := range fs {
+		if !b[baselineKey{f.Pos.Filename, f.Rule, f.Msg}] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// WriteBaseline renders findings in baseline format, deduplicated and
+// sorted for stable diffs.
+func WriteBaseline(w io.Writer, fs []Finding) error {
+	lines := map[string]bool{}
+	for _, f := range fs {
+		lines[fmt.Sprintf("%s: %s: %s", f.Pos.Filename, f.Rule, f.Msg)] = true
+	}
+	sorted := make([]string, 0, len(lines))
+	for l := range lines {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+	if _, err := fmt.Fprintln(w, "# metrovet baseline — accepted findings; remove entries as they are fixed."); err != nil {
+		return err
+	}
+	for _, l := range sorted {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

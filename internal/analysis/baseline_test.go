@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Pos: token.Position{Filename: "internal/core/router.go", Line: 42}, Rule: "no-wallclock", Msg: "time.Now reads the host wall clock"},
+		{Pos: token.Position{Filename: "internal/netsim/netsim.go", Line: 7}, Rule: "ordered-map-iteration", Msg: "iteration over map m has nondeterministic order"},
+	}
+	var buf strings.Builder
+	if err := WriteBaseline(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	base, err := parseBaseline(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 {
+		t.Fatalf("baseline has %d entries, want 2:\n%s", len(base), buf.String())
+	}
+	if rest := base.Filter(findings); len(rest) != 0 {
+		t.Fatalf("round-tripped baseline should absorb all findings, kept %v", rest)
+	}
+}
+
+func TestBaselineMatchesIgnoringLineNumbers(t *testing.T) {
+	base, err := parseBaseline(strings.NewReader(
+		"# comment\n\ninternal/core/router.go: no-wallclock: time.Now reads the host wall clock\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := []Finding{{
+		Pos:  token.Position{Filename: "internal/core/router.go", Line: 99}, // code shifted
+		Rule: "no-wallclock",
+		Msg:  "time.Now reads the host wall clock",
+	}}
+	if rest := base.Filter(moved); len(rest) != 0 {
+		t.Fatalf("baseline must match independent of line number, kept %v", rest)
+	}
+	other := []Finding{{
+		Pos:  token.Position{Filename: "internal/core/router.go", Line: 99},
+		Rule: "no-global-rand",
+		Msg:  "something new",
+	}}
+	if rest := base.Filter(other); len(rest) != 1 {
+		t.Fatalf("unrelated findings must survive the baseline, got %v", rest)
+	}
+}
+
+func TestBaselineRejectsMalformedLines(t *testing.T) {
+	if _, err := parseBaseline(strings.NewReader("not a baseline line\n")); err == nil {
+		t.Fatal("malformed baseline line should error")
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// All fixtures share one FileSet and one source importer: the importer
+// re-type-checks imported stdlib packages from GOROOT source and caches
+// them per instance, so sharing it keeps the suite fast (notably under
+// -race, where each stdlib check costs several seconds). Analyzer tests
+// must therefore not call t.Parallel().
+var (
+	fixtureFset     = token.NewFileSet()
+	fixtureImporter = importer.ForCompiler(fixtureFset, "source", nil)
+)
+
+// loadFixture type-checks an in-memory package for analyzer tests. Keys
+// of files are filenames ("a.go", "a_test.go"); the import path controls
+// rule scoping ("metro/internal/core" puts the fixture in cycle-state
+// scope). Fixtures may import only the standard library.
+func loadFixture(t *testing.T, importPath string, files map[string]string) *Package {
+	t.Helper()
+	fset := fixtureFset
+	p := &Package{ImportPath: importPath, Fset: fset}
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		switch {
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			p.XTestFiles = append(p.XTestFiles, f)
+		case strings.HasSuffix(name, "_test.go"):
+			p.TestFiles = append(p.TestFiles, f)
+		default:
+			p.Files = append(p.Files, f)
+		}
+	}
+	imp := fixtureImporter
+	collect := func(err error) { p.TypeErrs = append(p.TypeErrs, err) }
+	p.Info = newInfo()
+	unit := append(append([]*ast.File{}, p.Files...), p.TestFiles...)
+	p.Types, _ = (&types.Config{Importer: imp, Error: collect}).Check(importPath, fset, unit, p.Info)
+	if len(p.XTestFiles) > 0 {
+		// Fixture xtest files must not import the fixture package itself
+		// (the stdlib importer cannot resolve it); they exist to model
+		// "a test calls X" shapes, which resolve syntactically.
+		p.XInfo = newInfo()
+		(&types.Config{Importer: imp, Error: func(error) {}}).Check(importPath+"_test", fset, p.XTestFiles, p.XInfo)
+	}
+	for _, err := range p.TypeErrs {
+		t.Logf("fixture type error (tolerated): %v", err)
+	}
+	return p
+}
+
+// runRule loads the fixture and runs one analyzer over it.
+func runRule(t *testing.T, a *Analyzer, importPath string, files map[string]string) []Finding {
+	t.Helper()
+	return a.Run(loadFixture(t, importPath, files))
+}
+
+// wantFindings asserts the findings' (filename, line) pairs exactly.
+func wantFindings(t *testing.T, got []Finding, rule string, want ...[2]any) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d finding(s), want %d: %v", len(got), len(want), got)
+	}
+	SortFindings(got)
+	for i, w := range want {
+		file, line := w[0].(string), w[1].(int)
+		f := got[i]
+		if f.Rule != rule || f.Pos.Filename != file || f.Pos.Line != line {
+			t.Errorf("finding %d = %s:%d (%s), want %s:%d (%s)",
+				i, f.Pos.Filename, f.Pos.Line, f.Rule, file, line, rule)
+		}
+	}
+}

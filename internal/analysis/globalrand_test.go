@@ -1,0 +1,75 @@
+package analysis
+
+import "testing"
+
+func TestGlobalRandFiresOnGlobalFuncs(t *testing.T) {
+	got := runRule(t, GlobalRand(), "metro/internal/traffic", map[string]string{
+		"a.go": `package traffic
+
+import "math/rand"
+
+func bad(n int) int {
+	rand.Seed(42)        // line 6: global state
+	return rand.Intn(n)  // line 7: global state
+}
+
+func good(n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // seeded instance: allowed
+	return rng.Intn(n)                    // method on instance: allowed
+}
+`,
+	})
+	wantFindings(t, got, "no-global-rand", [2]any{"a.go", 6}, [2]any{"a.go", 7})
+}
+
+func TestGlobalRandFiresOnCryptoRandImport(t *testing.T) {
+	got := runRule(t, GlobalRand(), "metro/internal/fault", map[string]string{
+		"a.go": `package fault
+
+import (
+	"crypto/rand"
+)
+
+func bad() []byte {
+	b := make([]byte, 8)
+	rand.Read(b)
+	return b
+}
+`,
+	})
+	// The import itself is the finding: crypto/rand has no seeded mode,
+	// so no use of it can be reproducible.
+	wantFindings(t, got, "no-global-rand", [2]any{"a.go", 4})
+}
+
+func TestGlobalRandSilentOnSeededUse(t *testing.T) {
+	src := map[string]string{
+		"a.go": `package topo
+
+import "math/rand"
+
+type W struct{ rng *rand.Rand }
+
+func build(seed int64) *W {
+	return &W{rng: rand.New(rand.NewSource(seed))}
+}
+`,
+	}
+	if got := runRule(t, GlobalRand(), "metro/internal/topo", src); len(got) != 0 {
+		t.Fatalf("seeded instances are allowed, got %v", got)
+	}
+}
+
+func TestGlobalRandSilentOutsideInternal(t *testing.T) {
+	src := map[string]string{
+		"a.go": `package main
+
+import "math/rand"
+
+func main() { _ = rand.Intn(6) }
+`,
+	}
+	if got := runRule(t, GlobalRand(), "metro/examples/quickstart", src); len(got) != 0 {
+		t.Fatalf("examples/ packages are out of scope, got %v", got)
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import "testing"
+
+func TestInvariantCoverageFiresWhenUncalled(t *testing.T) {
+	got := runRule(t, InvariantCoverage(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type Router struct{ n int }
+
+// CheckInvariants audits internal consistency: finding (line 6).
+func (r *Router) CheckInvariants() error { return nil }
+`,
+		"a_test.go": `package core
+
+import "testing"
+
+func TestSomethingElse(t *testing.T) { _ = t }
+`,
+	})
+	wantFindings(t, got, "invariant-coverage", [2]any{"a.go", 6})
+}
+
+func TestInvariantCoverageSatisfiedByInPackageTest(t *testing.T) {
+	src := map[string]string{
+		"a.go": `package core
+
+type Router struct{ n int }
+
+func (r *Router) CheckInvariants() error { return nil }
+`,
+		"a_test.go": `package core
+
+import "testing"
+
+func TestAudit(t *testing.T) {
+	var r Router
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+`,
+	}
+	if got := runRule(t, InvariantCoverage(), "metro/internal/core", src); len(got) != 0 {
+		t.Fatalf("in-package test calls it, got %v", got)
+	}
+}
+
+func TestInvariantCoverageSatisfiedByExternalTest(t *testing.T) {
+	// External test packages (package foo_test) count too — that is
+	// where this repository's core invariant audits live.
+	src := map[string]string{
+		"a.go": `package netsim
+
+func CheckNetworkInvariants() error { return nil }
+`,
+		"x_test.go": `package netsim_test
+
+func audit() {
+	_ = CheckNetworkInvariants()
+}
+`,
+	}
+	if got := runRule(t, InvariantCoverage(), "metro/internal/netsim", src); len(got) != 0 {
+		t.Fatalf("external test calls it, got %v", got)
+	}
+}
+
+func TestInvariantCoverageIgnoresNonMatchingNames(t *testing.T) {
+	src := map[string]string{
+		"a.go": `package nic
+
+// Checksum is not an invariant auditor.
+func Checksum(b []byte) byte { return 0 }
+
+// checkInvariants is unexported: internal audits are the package's own
+// business.
+func checkInvariants() error { return nil }
+`,
+	}
+	if got := runRule(t, InvariantCoverage(), "metro/internal/nic", src); len(got) != 0 {
+		t.Fatalf("no exported Check…Invariants here, got %v", got)
+	}
+}

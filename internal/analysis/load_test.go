@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoaderOnRealTree loads a real package from this module (internal/prng,
+// chosen because it has no module-local imports of its own plus a test file)
+// and checks the loader wires up what the analyzers need.
+func TestLoaderOnRealTree(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "metro" {
+		t.Fatalf("module path = %q, want metro", l.ModulePath)
+	}
+	pkgs, err := l.Load("./internal/prng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Types.Path() != "metro/internal/prng" {
+		t.Fatalf("base unit not type-checked: %v", p.Types)
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("no compiled files parsed")
+	}
+	if len(p.TypeErrs) != 0 {
+		t.Fatalf("unexpected type errors: %v", p.TypeErrs)
+	}
+	// prng is the sanctioned randomness source; every analyzer must be
+	// clean on it with no annotations needed.
+	for _, a := range Analyzers() {
+		if got := a.Run(p); len(got) != 0 {
+			t.Errorf("%s on internal/prng: %v", a.Name, got)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import "testing"
+
+func TestMapRangeFires(t *testing.T) {
+	got := runRule(t, MapRange(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type state struct{ owners map[int]bool }
+
+func (s *state) drain() []int {
+	var out []int
+	for fp := range s.owners { // line 7: map field
+		out = append(out, fp)
+	}
+	for k := range map[string]int{"a": 1} { // line 10: map literal
+		_ = k
+	}
+	return out
+}
+
+func overSlice(xs []int) int {
+	n := 0
+	for _, x := range xs { // slices range deterministically: no finding
+		n += x
+	}
+	return n
+}
+`,
+	})
+	wantFindings(t, got, "ordered-map-iteration", [2]any{"a.go", 7}, [2]any{"a.go", 10})
+}
+
+func TestMapRangeOrderedAnnotation(t *testing.T) {
+	src := map[string]string{
+		"a.go": `package netsim
+
+func maxKey(m map[int]int) int {
+	best := -1
+	//metrovet:ordered max over keys is order-independent
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+func sameLine(m map[int]bool) int {
+	n := 0
+	for range m { //metrovet:ordered pure counting
+		n++
+	}
+	return n
+}
+`,
+	}
+	if got := runRule(t, MapRange(), "metro/internal/netsim", src); len(got) != 0 {
+		t.Fatalf("annotated loops must be silent, got %v", got)
+	}
+}
+
+func TestMapRangeAnnotationNeedsReason(t *testing.T) {
+	got := runRule(t, MapRange(), "metro/internal/cascade", map[string]string{
+		"a.go": `package cascade
+
+func count(m map[int]bool) int {
+	n := 0
+	//metrovet:ordered
+	for range m { // line 6: directive without justification is void
+		n++
+	}
+	return n
+}
+`,
+	})
+	wantFindings(t, got, "ordered-map-iteration", [2]any{"a.go", 6})
+}
+
+func TestMapRangeScopedToCycleStatePackages(t *testing.T) {
+	src := map[string]string{
+		"a.go": `package stats
+
+func sum(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+`,
+	}
+	if got := runRule(t, MapRange(), "metro/internal/stats", src); len(got) != 0 {
+		t.Fatalf("stats is not a cycle-state package, got %v", got)
+	}
+}
+
+func TestMapRangeCoversTestFiles(t *testing.T) {
+	got := runRule(t, MapRange(), "metro/internal/nic", map[string]string{
+		"a_test.go": `package nic
+
+func tableWalk() int {
+	cases := map[string]int{"a": 1}
+	n := 0
+	for _, v := range cases { // line 6: test iteration order leaks into failures
+		n += v
+	}
+	return n
+}
+`,
+	})
+	wantFindings(t, got, "ordered-map-iteration", [2]any{"a_test.go", 6})
+}

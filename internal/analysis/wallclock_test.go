@@ -1,0 +1,68 @@
+package analysis
+
+import "testing"
+
+func TestWallClockFires(t *testing.T) {
+	got := runRule(t, WallClock(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // line 6: finding
+	return time.Now()            // line 7: finding
+}
+
+func okDurationMath() time.Duration {
+	return 3 * time.Second // constants are fine; only clock reads are banned
+}
+`,
+	})
+	wantFindings(t, got, "no-wallclock", [2]any{"a.go", 6}, [2]any{"a.go", 7})
+}
+
+func TestWallClockAliasedImportAndTestFiles(t *testing.T) {
+	got := runRule(t, WallClock(), "metro/internal/netsim", map[string]string{
+		"a_test.go": `package netsim
+
+import wall "time"
+
+func helper() int64 {
+	return wall.Now().UnixNano() // line 6: alias does not hide the package
+}
+`,
+	})
+	wantFindings(t, got, "no-wallclock", [2]any{"a_test.go", 6})
+}
+
+func TestWallClockSilentOutsideInternal(t *testing.T) {
+	src := map[string]string{
+		"a.go": `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`,
+	}
+	if got := runRule(t, WallClock(), "metro/cmd/metrosim", src); len(got) != 0 {
+		t.Fatalf("cmd/ packages are out of scope, got %v", got)
+	}
+}
+
+func TestWallClockIgnoreDirective(t *testing.T) {
+	got := runRule(t, WallClock(), "metro/internal/stats", map[string]string{
+		"a.go": `package stats
+
+import "time"
+
+//metrovet:ignore no-wallclock progress reporting only, never feeds the model
+func progress() time.Time { return time.Now() }
+
+func bare() time.Time {
+	//metrovet:ignore no-wallclock
+	return time.Now() // line 10: reasonless directive suppresses nothing
+}
+`,
+	})
+	wantFindings(t, got, "no-wallclock", [2]any{"a.go", 10})
+}

@@ -104,12 +104,20 @@ func (g *Group) check(cycle uint64) {
 			}
 		}
 		if len(states) > 1 || len(owners) > 1 {
+			//metrovet:ordered set insertion; victims is drained in sorted port order below
 			for fp := range owners {
 				victims[fp] = true
 			}
 		}
 	}
-	for fp := range victims {
+	// Kill in ascending forward-port order: KillConnection emits tracer
+	// events, and the hardware's wired-AND check resolves all ports in one
+	// combinational pass, so the model must not leak map-iteration order
+	// into the trace stream.
+	for fp := 0; fp < g.members[0].Config().Inputs; fp++ {
+		if !victims[fp] {
+			continue
+		}
 		for _, r := range g.members {
 			r.KillConnection(cycle, fp)
 		}

@@ -1,0 +1,139 @@
+package core
+
+// White-box negative tests for CheckInvariants: each case corrupts router
+// state directly and asserts the matching invariant clause fires. The
+// positive direction — the checker staying silent across millions of
+// legitimate cycles — is covered by the netsim every-cycle audits; this
+// file proves the auditor itself has teeth.
+//
+// One clause is deliberately absent: "bp outside the configured
+// radix*dilation window" cannot fire while Settings validate, because
+// Radix(d) = Outputs/d makes radix*dilation exactly Outputs, and the
+// "invalid bp" clause already rejects bp >= Outputs first. It is kept in
+// the checker as defense in depth for future dilation schemes where the
+// window could be narrower than the physical port count.
+
+import (
+	"strings"
+	"testing"
+
+	"metro/internal/prng"
+	"metro/internal/word"
+)
+
+func freshRouter() *Router {
+	cfg := Config{
+		Inputs: 4, Outputs: 4, Width: 8, MaxDilation: 2,
+		HeaderWords: 1, DataPipe: 2, MaxVTD: 0, RandomInputs: 1, ScanPaths: 1,
+	}
+	return NewRouter("wb", cfg, DefaultSettings(cfg), prng.NewLFSR(5))
+}
+
+// connect puts fp into a fully consistent fpForward connection on bp so a
+// later corruption isolates exactly one clause.
+func connect(r *Router, fp, bp int) {
+	r.fwd[fp].state = fpForward
+	r.fwd[fp].bp = bp
+	r.fwd[fp].pipe = make([]word.Word, r.cfg.DataPipe)
+	r.busyBy[bp] = fp
+}
+
+func TestCheckInvariantsCatchesEachCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(r *Router)
+		want    string // substring of the expected complaint
+	}{
+		{
+			name:    "idle port holding a backward port",
+			corrupt: func(r *Router) { r.fwd[0].bp = 3 },
+			want:    "holds bp",
+		},
+		{
+			name: "connected port with out-of-range bp",
+			corrupt: func(r *Router) {
+				r.fwd[1].state = fpForward
+				r.fwd[1].bp = r.cfg.Outputs + 3
+			},
+			want: "invalid bp",
+		},
+		{
+			name: "two ports claiming the same crosspoint",
+			corrupt: func(r *Router) {
+				connect(r, 0, 2)
+				r.fwd[1].state = fpReversed
+				r.fwd[1].bp = 2
+			},
+			want: "claimed by",
+		},
+		{
+			name: "busyBy disagreeing with the owning port",
+			corrupt: func(r *Router) {
+				connect(r, 0, 2)
+				r.busyBy[2] = -1
+			},
+			want: "busyBy says",
+		},
+		{
+			name: "pipeline depth drifting from DataPipe",
+			corrupt: func(r *Router) {
+				connect(r, 0, 2)
+				r.fwd[0].pipe = r.fwd[0].pipe[:1]
+			},
+			want: "pipe depth",
+		},
+		{
+			name: "closer flushing an out-of-range bp",
+			corrupt: func(r *Router) {
+				r.closers = append(r.closers, closer{fp: 0, bp: -3})
+			},
+			want: "closer with invalid bp",
+		},
+		{
+			name: "closer whose bp is not marked flushing",
+			corrupt: func(r *Router) {
+				r.closers = append(r.closers, closer{fp: 0, bp: 1})
+				// busyBy[1] stays -1 (free) instead of -2 (flushing).
+			},
+			want: "closer holds bp",
+		},
+		{
+			name: "busyBy naming an owner that claims nothing",
+			corrupt: func(r *Router) {
+				r.busyBy[3] = 2
+			},
+			want: "no connected port claims it",
+		},
+		{
+			name: "flushing mark with no closer draining it",
+			corrupt: func(r *Router) {
+				r.busyBy[1] = -2
+			},
+			want: "marked flushing with no closer",
+		},
+		{
+			name: "busyBy holding an undefined marker",
+			corrupt: func(r *Router) {
+				r.busyBy[0] = -7
+			},
+			want: "invalid marker",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := freshRouter()
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatalf("fresh router must be consistent: %v", err)
+			}
+			tc.corrupt(r)
+			err := r.CheckInvariants()
+			if err == nil {
+				t.Fatalf("corruption went undetected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("wrong clause fired: got %q, want it to mention %q",
+					err, tc.want)
+			}
+		})
+	}
+}

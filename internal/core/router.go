@@ -144,9 +144,13 @@ func (r *Router) Settings() Settings { return r.set.Clone() }
 
 // SetSelectionPolicy overrides the output-selection policy (experiments
 // only; the architecture specifies SelectRandom).
+//
+//metrovet:mutator experiment configuration, applied before the clock starts
 func (r *Router) SetSelectionPolicy(p SelectionPolicy) { r.policy = p }
 
 // SetTracer installs an event tracer (nil restores the no-op tracer).
+//
+//metrovet:mutator observer wiring at network construction time
 func (r *Router) SetTracer(t Tracer) {
 	if t == nil {
 		t = NopTracer{}
@@ -155,9 +159,13 @@ func (r *Router) SetTracer(t Tracer) {
 }
 
 // AttachForward connects link end e to forward port fp.
+//
+//metrovet:mutator network construction wiring, before the clock starts
 func (r *Router) AttachForward(fp int, e *link.End) { r.fLinks[fp] = e }
 
 // AttachBackward connects link end e to backward port bp.
+//
+//metrovet:mutator network construction wiring, before the clock starts
 func (r *Router) AttachBackward(bp int, e *link.End) { r.bLinks[bp] = e }
 
 // ForwardLink returns the link end attached to forward port fp.
@@ -169,6 +177,8 @@ func (r *Router) BackwardLink(bp int) *link.End { return r.bLinks[bp] }
 // ApplySettings replaces the run-time settings, as a scan UPDATE-DR of the
 // configuration register would. Connections already open are unaffected
 // except that newly disabled ports stop accepting new connections.
+//
+//metrovet:mutator models a scan-chain UPDATE-DR, an asynchronous hardware path
 func (r *Router) ApplySettings(set Settings) error {
 	if err := set.Validate(r.cfg); err != nil {
 		return err
@@ -178,13 +188,19 @@ func (r *Router) ApplySettings(set Settings) error {
 }
 
 // SetForwardEnabled enables or disables forward port fp during operation.
+//
+//metrovet:mutator models scan-driven port masking (static fault isolation)
 func (r *Router) SetForwardEnabled(fp int, on bool) { r.set.ForwardEnabled[fp] = on }
 
 // SetBackwardEnabled enables or disables backward port bp during operation.
+//
+//metrovet:mutator models scan-driven port masking (static fault isolation)
 func (r *Router) SetBackwardEnabled(bp int, on bool) { r.set.BackwardEnabled[bp] = on }
 
 // SetFastReclaim selects the path reclamation mode of forward port fp
 // during operation (Section 5.1: the tradeoff may be handled dynamically).
+//
+//metrovet:mutator models scan-driven reconfiguration of the reclamation mode
 func (r *Router) SetFastReclaim(fp int, on bool) { r.set.FastReclaim[fp] = on }
 
 // Dilation returns the configured effective dilation.
@@ -240,6 +256,8 @@ func (r *Router) OwnerOf(bp int) int { return r.busyBy[bp] }
 // the cascade consistency check does when the wired-AND IN-USE signal
 // detects an allocation disagreement. The backward port is freed and the
 // port drains with BCB asserted so the source learns of the failure.
+//
+//metrovet:mutator invoked by cascade.Group's consistency check inside its own Eval
 func (r *Router) KillConnection(cycle uint64, fp int) {
 	p := &r.fwd[fp]
 	if p.state == fpIdle {

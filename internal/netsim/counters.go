@@ -118,11 +118,13 @@ func (c *Counters) String() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	maxStage := -1
+	//metrovet:ordered max over keys is order-independent
 	for s := range c.allocated {
 		if s > maxStage {
 			maxStage = s
 		}
 	}
+	//metrovet:ordered max over keys is order-independent
 	for s := range c.blocked {
 		if s > maxStage {
 			maxStage = s

@@ -16,6 +16,7 @@ func TestStageOfParsing(t *testing.T) {
 		"sxr1":    -1,
 		"":        -1,
 	}
+	//metrovet:ordered independent assertions per table entry
 	for name, want := range cases {
 		if got := stageOf(name); got != want {
 			t.Errorf("stageOf(%q) = %d, want %d", name, got, want)

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"metro/internal/nic"
 	"metro/internal/topo"
 )
 
@@ -35,6 +36,52 @@ func TestInvariantsUnderHeavyLoad(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestInvariantsEveryCycleCongestedFigure3 saturates the 64-endpoint
+// multibutterfly of Figure 3 — two fresh messages injected every cycle,
+// far past the network's sustainable load — and audits every router's
+// invariants after every single cycle. Congestion is where the teardown
+// and reclamation paths (blocked replies, drains, closers) actually run,
+// so this is the audit that exercises the clauses the light-load tests
+// never reach.
+func TestInvariantsEveryCycleCongestedFigure3(t *testing.T) {
+	cycles := 3000
+	if testing.Short() {
+		cycles = 1200
+	}
+	completed := 0
+	n, err := Build(Params{
+		Spec: topo.Figure3(), Width: 8, DataPipe: 2, LinkDelay: 1,
+		FastReclaim: false, Seed: 71, RetryLimit: 600, ListenTimeout: 200,
+		OnResult: func(r nic.Result) { completed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	eps := n.Params.Spec.Endpoints
+	for cycle := 0; cycle < cycles; cycle++ {
+		for k := 0; k < 2; k++ {
+			src := rng.Intn(eps)
+			dest := rng.Intn(eps)
+			if dest == src {
+				dest = (dest + 1) % eps
+			}
+			n.Send(src, dest, []byte{byte(cycle), byte(src), byte(dest)})
+		}
+		n.Engine.Step()
+		for s := range n.Routers {
+			for _, r := range n.Routers[s] {
+				if err := r.CheckInvariants(); err != nil {
+					t.Fatalf("cycle %d: %v", cycle, err)
+				}
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("congested run completed no messages; the load is miscalibrated")
 	}
 }
 

@@ -333,6 +333,8 @@ func Build(p Params) (*Network, error) {
 }
 
 // Send offers a message from src to dest and returns its ID.
+//
+//metrovet:mutator traffic injection between cycles; drivers call this before Step
 func (n *Network) Send(src, dest int, payload []byte) uint64 {
 	n.nextID++
 	id := n.nextID
@@ -363,6 +365,8 @@ func (n *Network) RunUntilQuiet(max uint64) bool {
 func (n *Network) Results() []nic.Result { return n.results }
 
 // TakeResults returns and clears the accumulated reports.
+//
+//metrovet:mutator measurement harvesting between runs; does not touch model state
 func (n *Network) TakeResults() []nic.Result {
 	r := n.results
 	n.results = nil

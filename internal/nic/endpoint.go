@@ -113,11 +113,15 @@ func (c Config) logicalWidth() int { return c.Width * c.Lanes }
 
 // AttachInject adds an injection channel (the upstream end of a link, or
 // a cascaded wide channel).
+//
+//metrovet:mutator network construction wiring, before the clock starts
 func (e *Endpoint) AttachInject(ch Channel) {
 	e.senders = append(e.senders, &sender{e: e, link: ch})
 }
 
 // AttachDeliver adds a delivery channel.
+//
+//metrovet:mutator network construction wiring, before the clock starts
 func (e *Endpoint) AttachDeliver(ch Channel) {
 	e.receivers = append(e.receivers, &receiver{e: e, link: ch})
 }
@@ -126,6 +130,8 @@ func (e *Endpoint) AttachDeliver(ch Channel) {
 func (e *Endpoint) ID() int { return e.cfg.ID }
 
 // Offer enqueues a message for delivery.
+//
+//metrovet:mutator traffic injection between cycles; drivers call this before Step
 func (e *Endpoint) Offer(msg Message) {
 	e.queue = append(e.queue, &pending{msg: msg, res: Result{
 		Msg: msg, LastBlockedStage: -1, SuspectStage: -1,
