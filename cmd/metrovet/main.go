@@ -15,6 +15,10 @@
 //	-baseline file        read accepted findings from file
 //	-write-baseline file  write current findings to file and exit 0
 //	-rules                print the rule set and exit
+//	-machines             print the extracted protocol state machines
+//	-write-machines dir   write the extracted machine tables to dir
+//	-check-machines dir   diff the extracted tables against dir, exit 1
+//	                      on any difference (the CI golden gate)
 //	-v                    also print type-checker diagnostics (normally
 //	                      silent: a tree that builds has none)
 package main
@@ -32,6 +36,9 @@ func main() {
 	baselinePath := flag.String("baseline", "", "read accepted findings from `file`")
 	writeBaseline := flag.String("write-baseline", "", "write current findings to `file` and exit 0")
 	listRules := flag.Bool("rules", false, "print the rule set and exit")
+	printMachines := flag.Bool("machines", false, "print the extracted protocol state machines")
+	writeMachines := flag.String("write-machines", "", "write extracted machine tables to `dir`")
+	checkMachines := flag.String("check-machines", "", "diff extracted tables against `dir`, exit 1 on any difference")
 	verbose := flag.Bool("v", false, "print type-checker diagnostics")
 	flag.Parse()
 
@@ -49,6 +56,11 @@ func main() {
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *printMachines || *writeMachines != "" || *checkMachines != "" {
+		runMachines(loader, *printMachines, *writeMachines, *checkMachines)
+		return
 	}
 	pkgs, err := loader.Load(flag.Args()...)
 	if err != nil {
@@ -102,6 +114,54 @@ func main() {
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "metrovet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// runMachines extracts the protocol state machines (analysis.DefaultMachines)
+// and prints, writes, or golden-diffs their transition tables.
+func runMachines(loader *analysis.Loader, print bool, writeDir, checkDir string) {
+	bad := false
+	for _, spec := range analysis.DefaultMachines() {
+		pkgs, err := loader.Load(spec.Pattern)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := analysis.ExtractMachine(pkgs[0], spec.Type)
+		if err != nil {
+			fatal(err)
+		}
+		text := m.Render(spec.Label())
+		switch {
+		case writeDir != "":
+			path := filepath.Join(writeDir, spec.FileName())
+			if err := os.MkdirAll(writeDir, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrovet: wrote %s (%d transitions)\n", path, len(m.Transitions))
+		case checkDir != "":
+			path := filepath.Join(checkDir, spec.FileName())
+			want, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if diff := analysis.DiffTables(string(want), text); diff != nil {
+				bad = true
+				fmt.Fprintf(os.Stderr, "metrovet: %s: extracted machine differs from %s:\n", spec.Label(), path)
+				for _, l := range diff {
+					fmt.Fprintf(os.Stderr, "  %s\n", l)
+				}
+			}
+		default:
+			fmt.Print(text)
+			fmt.Println()
+		}
+	}
+	if bad {
+		fmt.Fprintln(os.Stderr, "metrovet: state-machine tables are stale; regenerate with -write-machines and review the protocol change")
 		os.Exit(1)
 	}
 }

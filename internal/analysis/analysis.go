@@ -19,6 +19,10 @@
 //	//metrovet:ordered <reason>   — this map iteration is order-independent
 //	//metrovet:mutator <reason>   — this exported method is a deliberate
 //	                                out-of-cycle mutation entry point
+//	//metrovet:nonexhaustive <reason> — this enum switch deliberately
+//	                                handles a subset of the states
+//	//metrovet:alloc <reason>     — this hot-path allocation is justified
+//	                                (per-message work, preallocated capacity)
 //	//metrovet:ignore <rule> <reason> — suppress any rule on this line
 //
 // A directive with no reason does not suppress anything: the justification
@@ -64,6 +68,8 @@ func Analyzers() []*Analyzer {
 		MapRange(),
 		ClockedMutation(),
 		InvariantCoverage(),
+		EnumSwitch(),
+		HotPathAlloc(),
 	}
 }
 
@@ -207,7 +213,7 @@ func parseDirective(text string) (directive, bool) {
 	kind, rest, _ := strings.Cut(body, " ")
 	rest = strings.TrimSpace(rest)
 	switch kind {
-	case "ordered", "mutator":
+	case "ordered", "mutator", "nonexhaustive", "alloc":
 		if rest == "" {
 			return directive{}, false
 		}

@@ -1,0 +1,171 @@
+package analysis
+
+import "testing"
+
+// enumFixture declares a three-state enum the test switches range over.
+const enumFixture = `package core
+
+type phase uint8
+
+const (
+	phaseA phase = iota
+	phaseB
+	phaseC
+)
+`
+
+func TestEnumSwitchMissingConstant(t *testing.T) {
+	got := runRule(t, EnumSwitch(), "metro/internal/core", map[string]string{
+		"enum.go": enumFixture,
+		"a.go": `package core
+
+func handle(p phase) int {
+	switch p {
+	case phaseA:
+		return 1
+	case phaseB:
+		return 2
+	}
+	return 0
+}
+`,
+	})
+	wantFindings(t, got, "exhaustive-enum-switch", [2]any{"a.go", 4})
+}
+
+func TestEnumSwitchSilentDefault(t *testing.T) {
+	got := runRule(t, EnumSwitch(), "metro/internal/core", map[string]string{
+		"enum.go": enumFixture,
+		"a.go": `package core
+
+func handle(p phase) int {
+	switch p {
+	case phaseA:
+		return 1
+	default:
+		return 0
+	}
+}
+`,
+	})
+	wantFindings(t, got, "exhaustive-enum-switch", [2]any{"a.go", 4})
+}
+
+func TestEnumSwitchCleanForms(t *testing.T) {
+	got := runRule(t, EnumSwitch(), "metro/internal/core", map[string]string{
+		"enum.go": enumFixture,
+		"a.go": `package core
+
+// full enumeration, no default.
+func full(p phase) int {
+	switch p {
+	case phaseA, phaseB:
+		return 1
+	case phaseC:
+		return 2
+	}
+	return 0
+}
+
+// partial enumeration with a panicking default: unlisted states crash.
+func assertive(p phase) int {
+	switch p {
+	case phaseA:
+		return 1
+	default:
+		panic("unreachable phase")
+	}
+}
+
+// full enumeration plus a default guarding out-of-band values.
+func guarded(p phase) string {
+	switch p {
+	case phaseA, phaseB, phaseC:
+		return "ok"
+	default:
+		return "corrupt"
+	}
+}
+
+// annotated subset: the justification makes the hole deliberate.
+func subset(p phase) int {
+	//metrovet:nonexhaustive only the terminal phase matters to callers
+	switch p {
+	case phaseC:
+		return 1
+	}
+	return 0
+}
+
+// switches over non-enum types are out of scope.
+func strings(s string) int {
+	switch s {
+	case "a":
+		return 1
+	}
+	return 0
+}
+`,
+	})
+	wantFindings(t, got, "exhaustive-enum-switch")
+}
+
+func TestEnumSwitchIgnoresTestFiles(t *testing.T) {
+	got := runRule(t, EnumSwitch(), "metro/internal/core", map[string]string{
+		"enum.go": enumFixture,
+		"a_test.go": `package core
+
+func probe(p phase) bool {
+	switch p {
+	case phaseA:
+		return true
+	}
+	return false
+}
+`,
+	})
+	wantFindings(t, got, "exhaustive-enum-switch")
+}
+
+func TestEnumSwitchSkipsStdlibEnums(t *testing.T) {
+	// reflect.Kind is enum-like but not module-local: no obligation.
+	got := runRule(t, EnumSwitch(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+import "reflect"
+
+func kind(v reflect.Value) int {
+	switch v.Kind() {
+	case reflect.Bool:
+		return 1
+	}
+	return 0
+}
+`,
+	})
+	wantFindings(t, got, "exhaustive-enum-switch")
+}
+
+func TestEnumSwitchAliasedValuesCountOnce(t *testing.T) {
+	got := runRule(t, EnumSwitch(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type mode uint8
+
+const (
+	modeOff mode = iota
+	modeOn
+	modeDefault = modeOff // alias: same value, second name
+)
+
+func m(v mode) int {
+	switch v {
+	case modeDefault, modeOn: // covers modeOff by value
+		return 1
+	}
+	return 0
+}
+`,
+	})
+	wantFindings(t, got, "exhaustive-enum-switch")
+}

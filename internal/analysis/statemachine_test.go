@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadMachine extracts typeName's machine from an in-memory fixture.
+func loadMachine(t *testing.T, typeName string, files map[string]string) *Machine {
+	t.Helper()
+	p := loadFixture(t, "metro/internal/core", files)
+	m, err := ExtractMachine(p, typeName)
+	if err != nil {
+		t.Fatalf("ExtractMachine: %v", err)
+	}
+	return m
+}
+
+func wantTransitions(t *testing.T, m *Machine, want ...Transition) {
+	t.Helper()
+	got := map[Transition]bool{}
+	for _, tr := range m.Transitions {
+		got[tr] = true
+	}
+	for _, tr := range want {
+		if !got[tr] {
+			t.Errorf("missing transition %+v\nextracted:\n%s", tr, m.Render("fixture"))
+		}
+	}
+	if len(m.Transitions) != len(want) {
+		t.Errorf("got %d transitions, want %d:\n%s", len(m.Transitions), len(want), m.Render("fixture"))
+	}
+}
+
+func TestExtractMachineDirectWrites(t *testing.T) {
+	m := loadMachine(t, "ph", map[string]string{
+		"a.go": `package core
+
+type ph uint8
+
+const (
+	phA ph = iota
+	phB
+	phC
+)
+
+type box struct{ state ph }
+
+func (b *box) step(hot bool) {
+	switch b.state {
+	case phA:
+		if hot {
+			b.state = phB
+		}
+	case phB:
+		b.state = phC
+	case phC:
+		// terminal
+	}
+}
+`,
+	})
+	wantTransitions(t, m,
+		Transition{From: "phA", Guard: "hot", Next: "phB", Via: "box.step"},
+		Transition{From: "phB", Guard: "", Next: "phC", Via: "box.step"},
+	)
+}
+
+func TestExtractMachineCompositeResetAndInlinedHelper(t *testing.T) {
+	m := loadMachine(t, "ph", map[string]string{
+		"a.go": `package core
+
+type ph uint8
+
+const (
+	phA ph = iota
+	phB
+	phC
+)
+
+type box struct {
+	state ph
+	n     int
+}
+
+// flip threads the target state through a parameter, the router idiom.
+func (b *box) flip(to ph) {
+	b.n = 0
+	b.state = to
+}
+
+func (b *box) step() {
+	switch b.state {
+	case phA:
+		b.flip(phB)
+	case phB:
+		*b = box{state: phC}
+	case phC:
+		*b = box{n: 1} // absent state field: zero value phA
+	}
+}
+`,
+	})
+	wantTransitions(t, m,
+		Transition{From: "phA", Guard: "", Next: "phB", Via: "box.flip"},
+		Transition{From: "phB", Guard: "", Next: "phC", Via: "box.step"},
+		Transition{From: "phC", Guard: "", Next: "phA", Via: "box.step"},
+	)
+}
+
+func TestExtractMachineReturnsAndDefault(t *testing.T) {
+	m := loadMachine(t, "ph", map[string]string{
+		"a.go": `package core
+
+type ph uint8
+
+const (
+	phA ph = iota
+	phB
+	phC
+)
+
+// next is used in value position elsewhere, so it stays a root and its
+// returns carry the table (the TAP Next idiom).
+func next(s ph, up bool) ph {
+	if up {
+		switch s {
+		case phA:
+			return phB
+		case phB, phC:
+			return phC
+		}
+	}
+	switch s {
+	case phC:
+		return phA
+	default:
+		return s // unresolvable: no transition
+	}
+}
+`,
+	})
+	wantTransitions(t, m,
+		Transition{From: "phA", Guard: "up", Next: "phB", Via: "next"},
+		Transition{From: "phB", Guard: "up", Next: "phC", Via: "next"},
+		Transition{From: "phC", Guard: "up", Next: "phC", Via: "next"},
+		Transition{From: "phC", Guard: "", Next: "phA", Via: "next"},
+	)
+}
+
+func TestExtractMachineGuardSwitchAndOutsideWrite(t *testing.T) {
+	m := loadMachine(t, "ph", map[string]string{
+		"a.go": `package core
+
+type ph uint8
+
+const (
+	phA ph = iota
+	phB
+)
+
+type kind uint8
+
+const (
+	kX kind = iota
+	kY
+	kZ
+)
+
+type box struct{ state ph }
+
+func (b *box) step(k kind) {
+	switch b.state {
+	case phA:
+		switch k {
+		case kX:
+			b.state = phB
+		case kY, kZ:
+			// hold
+		}
+	case phB:
+	}
+}
+
+// kill writes outside any state switch: recorded with from "*".
+func (b *box) kill() { b.state = phA }
+`,
+	})
+	wantTransitions(t, m,
+		Transition{From: "phA", Guard: "k == kX", Next: "phB", Via: "box.step"},
+		Transition{From: "*", Guard: "", Next: "phA", Via: "box.kill"},
+	)
+}
+
+func TestMachineRenderAndDiff(t *testing.T) {
+	m := loadMachine(t, "ph", map[string]string{
+		"a.go": `package core
+
+type ph uint8
+
+const (
+	phA ph = iota
+	phB
+)
+
+type box struct{ state ph }
+
+func (b *box) step() {
+	switch b.state {
+	case phA:
+		b.state = phB
+	case phB:
+		b.state = phA
+	}
+}
+`,
+	})
+	text := m.Render("core.ph")
+	for _, want := range []string{
+		"# metrovet state machine: core.ph",
+		"states: phA phB",
+		"phA | ",
+		"| phB | box.step",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, text)
+		}
+	}
+	if d := DiffTables(text, text); d != nil {
+		t.Errorf("self-diff not empty: %v", d)
+	}
+	changed := strings.Replace(text, "phB | box.step", "phA | box.step", 1)
+	d := DiffTables(text, changed)
+	if len(d) == 0 {
+		t.Fatalf("diff of altered table is empty")
+	}
+	joined := strings.Join(d, "\n")
+	if !strings.Contains(joined, "- ") || !strings.Contains(joined, "+ ") {
+		t.Errorf("diff lacks both sides:\n%s", joined)
+	}
+}

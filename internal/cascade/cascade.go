@@ -34,6 +34,7 @@ type Group struct {
 	name    string
 	members []*core.Router
 	kills   int
+	victims []bool // per forward port; scratch reused by check each cycle
 }
 
 // NewGroup builds a cascade of c members with identical configuration,
@@ -42,7 +43,7 @@ func NewGroup(name string, cfg core.Config, set core.Settings, c int, shared *pr
 	if c < 1 {
 		panic("cascade: need at least one member")
 	}
-	g := &Group{name: name}
+	g := &Group{name: name, victims: make([]bool, cfg.Inputs)}
 	for k := 0; k < c; k++ {
 		r := core.NewRouter(fmt.Sprintf("%s.m%d", name, k), cfg, set, shared.Fork())
 		g.members = append(g.members, r)
@@ -91,31 +92,41 @@ func (g *Group) check(cycle uint64) {
 	}
 	// Disagreement: find the offending forward ports (owners of any port
 	// whose state differs across members) and shut them down everywhere.
+	// The per-port victim flags live on the Group so the per-cycle check
+	// stays allocation-free.
 	outputs := g.members[0].Config().Outputs
-	victims := map[int]bool{}
+	for fp := range g.victims {
+		g.victims[fp] = false
+	}
 	for bp := 0; bp < outputs; bp++ {
-		owners := map[int]bool{}
-		states := map[bool]bool{}
+		firstOwner := -1
+		anyOwned, anyFree, mixed := false, false, false
 		for _, r := range g.members {
 			fp := r.OwnerOf(bp)
-			states[fp >= 0] = true
-			if fp >= 0 {
-				owners[fp] = true
+			if fp < 0 {
+				anyFree = true
+				continue
 			}
+			if anyOwned && fp != firstOwner {
+				mixed = true
+			}
+			anyOwned = true
+			firstOwner = fp
 		}
-		if len(states) > 1 || len(owners) > 1 {
-			//metrovet:ordered set insertion; victims is drained in sorted port order below
-			for fp := range owners {
-				victims[fp] = true
+		if (anyOwned && anyFree) || mixed {
+			for _, r := range g.members {
+				if fp := r.OwnerOf(bp); fp >= 0 && fp < len(g.victims) {
+					g.victims[fp] = true
+				}
 			}
 		}
 	}
 	// Kill in ascending forward-port order: KillConnection emits tracer
 	// events, and the hardware's wired-AND check resolves all ports in one
-	// combinational pass, so the model must not leak map-iteration order
-	// into the trace stream.
+	// combinational pass, so the model must not leak iteration order into
+	// the trace stream.
 	for fp := 0; fp < g.members[0].Config().Inputs; fp++ {
-		if !victims[fp] {
+		if !g.victims[fp] {
 			continue
 		}
 		for _, r := range g.members {
@@ -138,10 +149,15 @@ func SplitWord(logical word.Word, c, w int) []word.Word {
 				Payload: (logical.Payload >> uint(k*w)) & word.Mask(w),
 			}
 		}
-	default:
+	case word.Empty, word.Route, word.HeaderPad, word.DataIdle, word.Turn,
+		word.Status, word.Drop:
+		// Control words are replicated so member state machines stay in
+		// lockstep.
 		for k := 0; k < c; k++ {
 			out[k] = logical
 		}
+	default:
+		panic("cascade: SplitWord: out-of-band word kind")
 	}
 	return out
 }
@@ -166,7 +182,11 @@ func MergeWords(members []word.Word, w int) word.Word {
 			out.Payload |= (m.Payload & word.Mask(w)) << uint(k*w)
 		}
 		return out
-	default:
+	case word.Empty, word.Route, word.HeaderPad, word.DataIdle, word.Turn,
+		word.Status, word.Drop:
+		// Replicated control word: all members carry the same value.
 		return members[0]
+	default:
+		panic("cascade: MergeWords: out-of-band word kind")
 	}
 }

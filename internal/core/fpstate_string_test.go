@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// TestFPStateString pins the mnemonic for every forward-port state: the
+// names appear in invariant failures and traces, and the exhaustive list
+// guards against a new state being added without a name.
+func TestFPStateString(t *testing.T) {
+	want := []struct {
+		s    fpState
+		name string
+	}{
+		{fpIdle, "IDLE"},
+		{fpHeader, "HEADER"},
+		{fpForward, "FORWARD"},
+		{fpReversed, "REVERSED"},
+		{fpBlockedWait, "BLOCKED-WAIT"},
+		{fpBlockedReply, "BLOCKED-REPLY"},
+		{fpDrain, "DRAIN"},
+	}
+	if len(want) != len(fpStateNames) {
+		t.Fatalf("test covers %d states, fpStateNames has %d", len(want), len(fpStateNames))
+	}
+	for _, tc := range want {
+		if got := tc.s.String(); got != tc.name {
+			t.Errorf("fpState(%d).String() = %q, want %q", uint8(tc.s), got, tc.name)
+		}
+	}
+	if got := fpState(200).String(); got != "fpState(200)" {
+		t.Errorf("out-of-range String() = %q, want %q", got, "fpState(200)")
+	}
+}

@@ -20,7 +20,7 @@ func (r *Router) CheckInvariants() error {
 		switch p.state {
 		case fpIdle, fpBlockedWait, fpBlockedReply, fpDrain:
 			if p.bp != -1 {
-				return fmt.Errorf("%s: fp%d in state %d holds bp %d", r.name, fp, p.state, p.bp)
+				return fmt.Errorf("%s: fp%d in state %v holds bp %d", r.name, fp, p.state, p.bp)
 			}
 		case fpHeader, fpForward, fpReversed:
 			if p.bp < 0 || p.bp >= r.cfg.Outputs {

@@ -32,6 +32,24 @@ const (
 	fpDrain
 )
 
+var fpStateNames = [...]string{
+	fpIdle:         "IDLE",
+	fpHeader:       "HEADER",
+	fpForward:      "FORWARD",
+	fpReversed:     "REVERSED",
+	fpBlockedWait:  "BLOCKED-WAIT",
+	fpBlockedReply: "BLOCKED-REPLY",
+	fpDrain:        "DRAIN",
+}
+
+// String returns the state mnemonic for traces and invariant failures.
+func (s fpState) String() string {
+	if int(s) < len(fpStateNames) {
+		return fpStateNames[s]
+	}
+	return fmt.Sprintf("fpState(%d)", uint8(s))
+}
+
 // SelectionPolicy chooses how a router picks among the available backward
 // ports of a direction. The METRO architecture specifies SelectRandom
 // (stochastic path selection, the key to congestion and fault avoidance);
@@ -52,6 +70,13 @@ const (
 const maxOutQ = 64
 
 // fwdPort holds the per-forward-port connection state machine.
+//
+// The pipe, inject and outQ buffers are allocated once (NewRouter sizes
+// them to DataPipe, the worst-case injection sequence, and maxOutQ) and
+// reused for the life of the port: the per-cycle path must not touch the
+// heap. inject and outQ are consumed through head cursors instead of
+// re-slicing so the backing arrays survive; see buffer() for the outQ
+// compaction that keeps appends within the preallocated capacity.
 type fwdPort struct {
 	state     fpState
 	bp        int // allocated backward port, -1 when none
@@ -59,11 +84,55 @@ type fwdPort struct {
 	pipe      []word.Word
 	pipeIn    word.Word // word staged into the pipe this cycle
 	inject    []word.Word
+	injHead   int // next inject element to transmit
 	outQ      []word.Word
+	outHead   int // next outQ element to transmit
 	ck        word.Checksum
 	revActive bool // reversed: downstream has begun transmitting
 	closing   bool // a synthesized DROP is flushing through the pipe
 	bcbOut    bool // asserting BCB toward the source
+}
+
+// reset returns the port to state s with no connection, preserving the
+// preallocated buffers (the allocation-free replacement for the old
+// whole-struct `*p = fwdPort{...}` resets).
+func (p *fwdPort) reset(s fpState) {
+	p.state = s
+	p.bp = -1
+	p.hdrLeft = 0
+	p.pipeIn = word.Word{}
+	p.inject = p.inject[:0]
+	p.injHead = 0
+	p.outQ = p.outQ[:0]
+	p.outHead = 0
+	p.ck.Reset()
+	p.revActive = false
+	p.closing = false
+	p.bcbOut = false
+}
+
+// injPending reports whether staged injection words remain.
+func (p *fwdPort) injPending() bool { return p.injHead < len(p.inject) }
+
+// clearPipe zeroes the pipeline in place for a fresh connection.
+func (p *fwdPort) clearPipe() {
+	for i := range p.pipe {
+		p.pipe[i] = word.Word{}
+	}
+}
+
+// stageInject stages a STATUS word, the segment checksum, and optionally a
+// closing DROP into the port's preallocated injection buffer.
+func (p *fwdPort) stageInject(status word.Word, sum uint8, width int, drop bool) {
+	p.inject = p.inject[:0]
+	p.injHead = 0
+	//metrovet:alloc capacity sized to the worst-case injection sequence in NewRouter
+	p.inject = append(p.inject, status)
+	p.inject = word.AppendChecksum(p.inject, sum, width)
+	if drop {
+		//metrovet:alloc capacity sized to the worst-case injection sequence in NewRouter
+		p.inject = append(p.inject, word.Word{Kind: word.Drop})
+	}
 }
 
 // closer is the detached tail of a closing forward connection: when the
@@ -100,6 +169,23 @@ type Router struct {
 	busyBy  []int // per backward port: owner fp, -1 free, -2 flushing close
 	closers []closer
 	policy  SelectionPolicy
+
+	// Per-cycle scratch, preallocated in NewRouter so the Eval path never
+	// allocates: request and candidate collection, plus a pool of spare
+	// port buffers handed to forward ports when detach moves their live
+	// buffers into a closer (at most Outputs closers can be in flight, one
+	// per backward port).
+	reqScratch  []request
+	candScratch []int
+	spareBufs   []portBufs
+}
+
+// portBufs is one set of forward-port buffers circulating between ports,
+// detached closers, and the router's spare pool.
+type portBufs struct {
+	pipe   []word.Word
+	inject []word.Word
+	outQ   []word.Word
 }
 
 // NewRouter constructs a router with the given architectural parameters,
@@ -113,22 +199,38 @@ func NewRouter(name string, cfg Config, set Settings, rng prng.Source) *Router {
 	if err := set.Validate(cfg); err != nil {
 		panic(fmt.Sprintf("core: %s: %v", name, err))
 	}
+	// Worst-case injection sequence: STATUS + checksum words + DROP.
+	injCap := 2 + word.ChecksumWords(cfg.Width)
 	r := &Router{
-		name:   name,
-		cfg:    cfg,
-		set:    set.Clone(),
-		rng:    rng,
-		tracer: NopTracer{},
-		fLinks: make([]*link.End, cfg.Inputs),
-		bLinks: make([]*link.End, cfg.Outputs),
-		fwd:    make([]fwdPort, cfg.Inputs),
-		busyBy: make([]int, cfg.Outputs),
+		name:        name,
+		cfg:         cfg,
+		set:         set.Clone(),
+		rng:         rng,
+		tracer:      NopTracer{},
+		fLinks:      make([]*link.End, cfg.Inputs),
+		bLinks:      make([]*link.End, cfg.Outputs),
+		fwd:         make([]fwdPort, cfg.Inputs),
+		busyBy:      make([]int, cfg.Outputs),
+		closers:     make([]closer, 0, cfg.Outputs),
+		reqScratch:  make([]request, 0, cfg.Inputs),
+		candScratch: make([]int, 0, cfg.Outputs),
+		spareBufs:   make([]portBufs, cfg.Outputs),
 	}
 	for i := range r.fwd {
 		r.fwd[i].bp = -1
+		r.fwd[i].pipe = make([]word.Word, cfg.DataPipe)
+		r.fwd[i].inject = make([]word.Word, 0, injCap)
+		r.fwd[i].outQ = make([]word.Word, 0, maxOutQ)
 	}
 	for i := range r.busyBy {
 		r.busyBy[i] = -1
+	}
+	for i := range r.spareBufs {
+		r.spareBufs[i] = portBufs{
+			pipe:   make([]word.Word, cfg.DataPipe),
+			inject: make([]word.Word, 0, injCap),
+			outQ:   make([]word.Word, 0, maxOutQ),
+		}
 	}
 	return r
 }
@@ -265,7 +367,8 @@ func (r *Router) KillConnection(cycle uint64, fp int) {
 	}
 	r.freeBackward(fp)
 	r.tracer.Released(cycle, r.name, fp, -1)
-	*p = fwdPort{state: fpDrain, bp: -1, bcbOut: true}
+	p.reset(fpDrain)
+	p.bcbOut = true
 }
 
 // request records a connection request observed during the input pass.
@@ -291,7 +394,7 @@ func (r *Router) Commit(cycle uint64) {}
 // inputPass reads every forward port's inputs, advances connection state
 // machines, and collects new connection requests.
 func (r *Router) inputPass(cycle uint64) []request {
-	var reqs []request
+	reqs := r.reqScratch[:0]
 	for fp := range r.fwd {
 		p := &r.fwd[fp]
 		if !r.set.ForwardEnabled[fp] || r.fLinks[fp] == nil {
@@ -305,7 +408,8 @@ func (r *Router) inputPass(cycle uint64) []request {
 		if p.bp >= 0 && r.bLinks[p.bp] != nil && r.bLinks[p.bp].RecvBCB() {
 			r.freeBackward(fp)
 			r.tracer.Released(cycle, r.name, fp, -1)
-			*p = fwdPort{state: fpDrain, bp: -1, bcbOut: true}
+			p.reset(fpDrain)
+			p.bcbOut = true
 			// Fall through to fpDrain handling with this cycle's input.
 		}
 
@@ -313,6 +417,7 @@ func (r *Router) inputPass(cycle uint64) []request {
 		case fpIdle:
 			if in.Kind == word.Route {
 				if req, ok := r.parseRoute(fp, in); ok {
+					//metrovet:alloc capacity Inputs preallocated in NewRouter; at most one request per forward port
 					reqs = append(reqs, req)
 				}
 			}
@@ -324,7 +429,7 @@ func (r *Router) inputPass(cycle uint64) []request {
 				// forwarded yet, so release everything at once.
 				bp := p.bp
 				r.freeBackward(fp)
-				*p = fwdPort{state: fpIdle, bp: -1}
+				p.reset(fpIdle)
 				r.tracer.Released(cycle, r.name, fp, bp)
 				continue
 			}
@@ -369,7 +474,7 @@ func (r *Router) inputPass(cycle uint64) []request {
 				}
 				bp := p.bp
 				r.freeBackward(fp)
-				*p = fwdPort{state: fpIdle, bp: -1}
+				p.reset(fpIdle)
 				r.tracer.Released(cycle, r.name, fp, bp)
 				continue
 			}
@@ -397,16 +502,17 @@ func (r *Router) inputPass(cycle uint64) []request {
 			switch in.Kind {
 			case word.Turn:
 				flags := word.StatusBlocked
-				sum := p.ck.Sum()
-				p.inject = append([]word.Word{{Kind: word.Status, Payload: flags & word.Mask(r.cfg.Width)}},
-					word.SplitChecksum(sum, r.cfg.Width)...)
-				p.inject = append(p.inject, word.Word{Kind: word.Drop})
+				status := word.Word{Kind: word.Status, Payload: flags & word.Mask(r.cfg.Width)}
+				p.stageInject(status, p.ck.Sum(), r.cfg.Width, true)
 				p.state = fpBlockedReply
 				r.tracer.Reversed(cycle, r.name, fp, true)
 			case word.Drop, word.Empty:
 				r.tracer.Released(cycle, r.name, fp, -1)
-				*p = fwdPort{state: fpIdle, bp: -1}
-			default:
+				p.reset(fpIdle)
+			case word.Route, word.HeaderPad, word.Data, word.DataIdle,
+				word.Status, word.ChecksumWord:
+				// Stream content while blocked still feeds the checksum the
+				// status reply will report.
 				p.ck.Add(in)
 			}
 
@@ -416,12 +522,14 @@ func (r *Router) inputPass(cycle uint64) []request {
 		case fpDrain:
 			switch in.Kind {
 			case word.Drop, word.Empty:
-				*p = fwdPort{state: fpIdle, bp: -1}
-			default:
+				p.reset(fpIdle)
+			case word.Route, word.HeaderPad, word.Data, word.DataIdle,
+				word.Turn, word.Status, word.ChecksumWord:
 				// Swallow the remains of the aborted stream.
 			}
 		}
 	}
+	r.reqScratch = reqs
 	return reqs
 }
 
@@ -460,12 +568,14 @@ func (r *Router) allocate(cycle uint64, reqs []request) {
 	for _, q := range reqs {
 		p := &r.fwd[q.fp]
 		lo, hi := r.PortsFor(q.dir)
-		var candidates []int
+		candidates := r.candScratch[:0]
 		for bp := lo; bp < hi; bp++ {
 			if r.busyBy[bp] == -1 && r.set.BackwardEnabled[bp] && r.bLinks[bp] != nil && !r.bLinks[bp].Link().Dead() {
+				//metrovet:alloc capacity Outputs preallocated in NewRouter; a direction's port range never exceeds it
 				candidates = append(candidates, bp)
 			}
 		}
+		r.candScratch = candidates
 		if len(candidates) == 0 {
 			r.block(cycle, q)
 			continue
@@ -475,9 +585,11 @@ func (r *Router) allocate(cycle uint64, reqs []request) {
 		p.bp = bp
 		p.ck.Reset()
 		p.ck.Add(q.recv)
-		p.pipe = make([]word.Word, r.cfg.DataPipe)
-		p.inject = nil
-		p.outQ = nil
+		p.clearPipe()
+		p.inject = p.inject[:0]
+		p.injHead = 0
+		p.outQ = p.outQ[:0]
+		p.outHead = 0
 		p.revActive = false
 		p.closing = false
 		p.pipeIn = q.fwdWord
@@ -508,10 +620,11 @@ func (r *Router) block(cycle uint64, q request) {
 	fast := r.set.FastReclaim[q.fp]
 	r.tracer.Blocked(cycle, r.name, q.fp, q.dir, fast)
 	if fast {
-		*p = fwdPort{state: fpDrain, bp: -1, bcbOut: true}
+		p.reset(fpDrain)
+		p.bcbOut = true
 		return
 	}
-	*p = fwdPort{state: fpBlockedWait, bp: -1}
+	p.reset(fpBlockedWait)
 	p.ck.Add(q.recv)
 }
 
@@ -521,6 +634,10 @@ func (r *Router) outputPass(cycle uint64) {
 	for fp := range r.fwd {
 		p := &r.fwd[fp]
 		switch p.state {
+		case fpIdle, fpBlockedWait:
+			// No connection output: an idle port transmits nothing, and a
+			// blocked port swallows its stream until the TURN arrives.
+
 		case fpHeader:
 			// Nothing flows downstream during setup consumption; keep the
 			// pipe shifting so residency stays dp cycles.
@@ -537,6 +654,7 @@ func (r *Router) outputPass(cycle uint64) {
 			if !sent.IsEmpty() && r.bLinks[p.bp] != nil {
 				r.bLinks[p.bp].Send(sent)
 			}
+			//metrovet:nonexhaustive only TURN and DROP alter connection state here; data flows through
 			switch sent.Kind {
 			case word.Turn:
 				r.flip(cycle, fp, fpReversed)
@@ -554,6 +672,7 @@ func (r *Router) outputPass(cycle uint64) {
 			if p.state == fpReversed && r.bLinks[p.bp] != nil {
 				r.bLinks[p.bp].Send(word.Word{Kind: word.DataIdle})
 			}
+			//metrovet:nonexhaustive only TURN and DROP alter connection state here; data flows through
 			switch sent.Kind {
 			case word.Turn:
 				r.flip(cycle, fp, fpForward)
@@ -562,15 +681,15 @@ func (r *Router) outputPass(cycle uint64) {
 			}
 
 		case fpBlockedReply:
-			if len(p.inject) > 0 {
-				w := p.inject[0]
-				p.inject = p.inject[1:]
+			if p.injPending() {
+				w := p.inject[p.injHead]
+				p.injHead++
 				if r.fLinks[fp] != nil {
 					r.fLinks[fp].Send(w)
 				}
 				if w.Kind == word.Drop {
 					r.tracer.Released(cycle, r.name, fp, -1)
-					*p = fwdPort{state: fpIdle, bp: -1}
+					p.reset(fpIdle)
 				}
 			}
 
@@ -593,7 +712,7 @@ func (p *fwdPort) turnInPipe() bool {
 			return true
 		}
 	}
-	for _, w := range p.outQ {
+	for _, w := range p.outQ[p.outHead:] {
 		if w.Kind == word.Turn {
 			return true
 		}
@@ -617,15 +736,15 @@ func (p *fwdPort) shiftPipe() word.Word {
 // output. A displaced pipe word is buffered; an absent word becomes idle
 // fill so the connection stays open.
 func (p *fwdPort) selectOutput(pipeOut, idle word.Word) word.Word {
-	if len(p.inject) > 0 {
-		w := p.inject[0]
-		p.inject = p.inject[1:]
+	if p.injPending() {
+		w := p.inject[p.injHead]
+		p.injHead++
 		p.buffer(pipeOut)
 		return w
 	}
-	if len(p.outQ) > 0 {
-		w := p.outQ[0]
-		p.outQ = p.outQ[1:]
+	if p.outHead < len(p.outQ) {
+		w := p.outQ[p.outHead]
+		p.outHead++
 		p.buffer(pipeOut)
 		return w
 	}
@@ -639,9 +758,17 @@ func (p *fwdPort) buffer(w word.Word) {
 	if w.IsEmpty() {
 		return
 	}
-	if len(p.outQ) >= maxOutQ {
+	if len(p.outQ)-p.outHead >= maxOutQ {
 		panic("core: output elastic buffer overflow — protocol bug")
 	}
+	if len(p.outQ) == cap(p.outQ) && p.outHead > 0 {
+		// Slide the pending words to the front so the append below stays
+		// within the preallocated backing array.
+		n := copy(p.outQ, p.outQ[p.outHead:])
+		p.outQ = p.outQ[:n]
+		p.outHead = 0
+	}
+	//metrovet:alloc bounded by the maxOutQ capacity preallocated in NewRouter
 	p.outQ = append(p.outQ, w)
 }
 
@@ -652,10 +779,9 @@ func (r *Router) flip(cycle uint64, fp int, to fpState) {
 	p := &r.fwd[fp]
 	sum := p.ck.Sum()
 	p.ck.Reset()
-	p.inject = append([]word.Word{{Kind: word.Status, Payload: 0}},
-		word.SplitChecksum(sum, r.cfg.Width)...)
-	p.outQ = nil
-	p.pipe = make([]word.Word, r.cfg.DataPipe)
+	p.stageInject(word.Word{Kind: word.Status, Payload: 0}, sum, r.cfg.Width, false)
+	p.outQ = p.outQ[:0]
+	p.outHead = 0
 	if to == fpForward {
 		// The downstream hop is an established connection: filling the
 		// pipe with DATA-IDLE keeps the stream contiguous so the hop
@@ -663,6 +789,8 @@ func (r *Router) flip(cycle uint64, fp int, to fpState) {
 		for i := range p.pipe {
 			p.pipe[i] = word.Word{Kind: word.DataIdle}
 		}
+	} else {
+		p.clearPipe()
 	}
 	p.pipeIn = word.Word{}
 	p.revActive = false
@@ -677,13 +805,30 @@ func (r *Router) flip(cycle uint64, fp int, to fpState) {
 func (r *Router) detach(cycle uint64, fp int) {
 	p := &r.fwd[fp]
 	c := closer{fp: fp, bp: p.bp, port: *p,
-		deadline: r.cfg.DataPipe + len(p.inject) + len(p.outQ) + 4}
+		deadline: r.cfg.DataPipe + (len(p.inject) - p.injHead) + (len(p.outQ) - p.outHead) + 4}
 	c.port.pipeIn = word.Word{Kind: word.Drop}
 	if c.bp >= 0 {
 		r.busyBy[c.bp] = -2
+		// The closer took the port's live buffers (the struct copy shares
+		// the backing arrays), so hand the port a spare set from the pool
+		// instead of letting the two alias.
+		if n := len(r.spareBufs); n > 0 {
+			b := r.spareBufs[n-1]
+			r.spareBufs = r.spareBufs[:n-1]
+			p.pipe, p.inject, p.outQ = b.pipe, b.inject, b.outQ
+		} else {
+			// Unreachable: at most one closer per backward port can be in
+			// flight and the pool holds Outputs sets. Kept as a safe
+			// fallback rather than a panic.
+			//metrovet:alloc unreachable fallback; the spare pool is sized to the closer bound
+			p.pipe = make([]word.Word, r.cfg.DataPipe)
+			p.inject = nil
+			p.outQ = nil
+		}
+		//metrovet:alloc capacity Outputs preallocated in NewRouter; at most one closer per backward port
 		r.closers = append(r.closers, c)
 	}
-	*p = fwdPort{state: fpIdle, bp: -1}
+	p.reset(fpIdle)
 }
 
 // runClosers advances every detached connection flush, freeing backward
@@ -701,8 +846,16 @@ func (r *Router) runClosers(cycle uint64) {
 		if sent.Kind == word.Drop || c.deadline <= 0 {
 			r.busyBy[c.bp] = -1
 			r.tracer.Released(cycle, r.name, c.fp, c.bp)
+			// Return the retired closer's buffers to the spare pool.
+			//metrovet:alloc the pool never exceeds the Outputs capacity preallocated in NewRouter
+			r.spareBufs = append(r.spareBufs, portBufs{
+				pipe:   c.port.pipe,
+				inject: c.port.inject[:0],
+				outQ:   c.port.outQ[:0],
+			})
 			continue
 		}
+		//metrovet:alloc in-place compaction re-slicing the closers backing array
 		kept = append(kept, *c)
 	}
 	r.closers = kept
@@ -714,7 +867,7 @@ func (r *Router) release(cycle uint64, fp int) {
 	p := &r.fwd[fp]
 	bp := p.bp
 	r.freeBackward(fp)
-	*p = fwdPort{state: fpIdle, bp: -1}
+	p.reset(fpIdle)
 	r.tracer.Released(cycle, r.name, fp, bp)
 }
 

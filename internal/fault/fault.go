@@ -100,6 +100,7 @@ func (i *Injector) Eval(cycle uint64) {
 	for i.next < len(i.plan) && i.plan[i.next].At <= cycle {
 		e := i.plan[i.next]
 		i.apply(e)
+		//metrovet:alloc per-fault-event telemetry, bounded by the plan length
 		i.fired = append(i.fired, e)
 		i.next++
 	}

@@ -85,6 +85,7 @@ type Endpoint struct {
 	senders   []*sender
 	receivers []*receiver
 	queue     []*pending
+	qHead     int // next queued message; the backing array is reused
 	nextSend  int
 }
 
@@ -139,7 +140,7 @@ func (e *Endpoint) Offer(msg Message) {
 }
 
 // QueueLen reports messages waiting for an injection link.
-func (e *Endpoint) QueueLen() int { return len(e.queue) }
+func (e *Endpoint) QueueLen() int { return len(e.queue) - e.qHead }
 
 // Busy reports whether any sender is mid-message.
 func (e *Endpoint) Busy() bool {
@@ -179,15 +180,21 @@ func (e *Endpoint) Eval(cycle uint64) {
 	if max <= 0 {
 		max = len(e.senders)
 	}
-	for len(e.queue) > 0 && active < max {
+	for e.qHead < len(e.queue) && active < max {
 		s := e.idleSender()
 		if s == nil {
 			break
 		}
-		p := e.queue[0]
-		e.queue = e.queue[1:]
+		p := e.queue[e.qHead]
+		e.queue[e.qHead] = nil // release the reference; the array is reused
+		e.qHead++
 		s.begin(cycle, p)
 		active++
+	}
+	if e.qHead == len(e.queue) {
+		// Drained: rewind so future Offers reuse the backing array.
+		e.queue = e.queue[:0]
+		e.qHead = 0
 	}
 	for _, s := range e.senders {
 		s.eval(cycle)
@@ -209,9 +216,19 @@ func (e *Endpoint) idleSender() *sender {
 	return nil
 }
 
-// retry requeues a message at the head of the queue.
+// retry requeues a message at the head of the queue. A retried message was
+// popped earlier, so the freed slot before qHead is normally available and
+// the requeue is allocation-free.
 func (e *Endpoint) retry(p *pending) {
-	e.queue = append([]*pending{p}, e.queue...)
+	if e.qHead > 0 {
+		e.qHead--
+		e.queue[e.qHead] = p
+		return
+	}
+	//metrovet:alloc front-insert fallback; grows only when no popped slot has been freed
+	e.queue = append(e.queue, nil)
+	copy(e.queue[1:], e.queue)
+	e.queue[0] = p
 }
 
 func (e *Endpoint) finish(p *pending, delivered bool, cycle uint64) {
@@ -236,6 +253,22 @@ const (
 	sCooldown
 )
 
+var sStateNames = [...]string{
+	sIdle:      "IDLE",
+	sSending:   "SENDING",
+	sListening: "LISTENING",
+	sDropping:  "DROPPING",
+	sCooldown:  "COOLDOWN",
+}
+
+// String returns the state mnemonic for logs and test failures.
+func (s sState) String() string {
+	if int(s) < len(sStateNames) {
+		return sStateNames[s]
+	}
+	return fmt.Sprintf("sState(%d)", uint8(s))
+}
+
 type sender struct {
 	e     *Endpoint
 	link  Channel
@@ -257,6 +290,8 @@ type sender struct {
 // the logical channel width; routing words were already sized to the
 // physical component width by the HeaderSpec and are replicated across
 // lanes by the channel.
+//
+//metrovet:alloc per-attempt stream construction, not a per-cycle path
 func (s *sender) begin(cycle uint64, p *pending) {
 	cfg := s.e.cfg
 	lw := cfg.logicalWidth()
@@ -292,6 +327,8 @@ func (s *sender) begin(cycle uint64, p *pending) {
 // laneSlice projects a logical word stream onto one cascade lane: payload
 // bits are sliced, control words replicated — exactly what the lane's
 // routing component receives.
+//
+//metrovet:alloc per-attempt lane projection, not a per-cycle path
 func laneSlice(stream []word.Word, lane, lanes, width int) []word.Word {
 	if lanes == 1 {
 		return stream
@@ -302,7 +339,9 @@ func laneSlice(stream []word.Word, lane, lanes, width int) []word.Word {
 		case word.Data, word.ChecksumWord:
 			out[i] = word.Word{Kind: w.Kind,
 				Payload: (w.Payload >> uint(lane*width)) & word.Mask(width)}
-		default:
+		case word.Empty, word.Route, word.HeaderPad, word.DataIdle,
+			word.Turn, word.Status, word.Drop:
+			// Control words are replicated across lanes.
 			out[i] = w
 		}
 	}
@@ -459,6 +498,21 @@ const (
 	rClosing
 )
 
+var rStateNames = [...]string{
+	rIdle:     "IDLE",
+	rAssemble: "ASSEMBLE",
+	rReply:    "REPLY",
+	rClosing:  "CLOSING",
+}
+
+// String returns the state mnemonic for logs and test failures.
+func (s rState) String() string {
+	if int(s) < len(rStateNames) {
+		return rStateNames[s]
+	}
+	return fmt.Sprintf("rState(%d)", uint8(s))
+}
+
 type receiver struct {
 	e     *Endpoint
 	link  Channel
@@ -476,8 +530,19 @@ type receiver struct {
 	intact     bool
 }
 
+// reset returns the receiver to rIdle while preserving the assembled-word
+// and reply buffers, which are reused across messages.
 func (r *receiver) reset() {
-	*r = receiver{e: r.e, link: r.link}
+	r.state = rIdle
+	r.payload = r.payload[:0]
+	r.ckbuf = r.ckbuf[:0]
+	r.gotCk = false
+	r.e2e = 0
+	r.reply = r.reply[:0]
+	r.replyIdx = 0
+	r.replyDelay = 0
+	r.skipCk = 0
+	r.intact = false
 }
 
 func (r *receiver) eval(cycle uint64) {
@@ -493,8 +558,11 @@ func (r *receiver) eval(cycle uint64) {
 		case word.Data, word.ChecksumWord, word.Turn:
 			r.state = rAssemble
 			r.assemble(w, cw, cycle)
+		case word.Empty, word.Route, word.HeaderPad, word.DataIdle,
+			word.Status, word.Drop:
+			// Idle channel, idle fill, and stray control words are ignored;
+			// ROUTE and HeaderPad words were consumed by the routers.
 		}
-		// Empty, DataIdle and stray control words are ignored.
 
 	case rAssemble:
 		r.assemble(w, cw, cycle)
@@ -533,6 +601,8 @@ func (r *receiver) eval(cycle uint64) {
 			// deliver it.
 			r.deliver()
 			r.reset()
+		case word.Route, word.HeaderPad, word.Data, word.DataIdle, word.Turn:
+			// Residual stream words while the close propagates are ignored.
 		}
 	}
 }
@@ -540,8 +610,10 @@ func (r *receiver) eval(cycle uint64) {
 func (r *receiver) assemble(w word.Word, cw int, cycle uint64) {
 	switch w.Kind {
 	case word.Data:
+		//metrovet:alloc buffer reused across messages; grows only until the largest message size
 		r.payload = append(r.payload, w)
 	case word.ChecksumWord:
+		//metrovet:alloc buffer reused across messages; bounded by the checksum word count
 		r.ckbuf = append(r.ckbuf, w)
 		if len(r.ckbuf) == cw {
 			r.e2e = word.JoinChecksum(r.ckbuf, r.e.cfg.logicalWidth())
@@ -553,13 +625,16 @@ func (r *receiver) assemble(w word.Word, cw int, cycle uint64) {
 		r.reset() // aborted before the turn; nothing to deliver
 	case word.Empty:
 		r.reset() // upstream vanished
+	case word.Route, word.HeaderPad, word.DataIdle, word.Status:
+		// Idle fill and stray control words are skipped.
 	}
-	// DataIdle and stray words are skipped.
 }
 
 // turn handles the reversal request: verify the message and transmit the
 // reply (status, checksum of what we received, optional responder payload,
 // and a TURN handing the channel back).
+//
+//metrovet:alloc per-message reply construction, not a per-cycle path
 func (r *receiver) turn() {
 	var ck word.Checksum
 	for _, w := range r.payload {
@@ -572,8 +647,9 @@ func (r *receiver) turn() {
 		flags |= word.StatusNack
 	}
 	width := r.e.cfg.logicalWidth()
-	reply := []word.Word{{Kind: word.Status, Payload: flags & word.Mask(width)}}
-	reply = append(reply, word.SplitChecksum(computed, width)...)
+	// The reply buffer is reused across messages (reset re-slices it).
+	reply := append(r.reply[:0], word.Word{Kind: word.Status, Payload: flags & word.Mask(width)})
+	reply = word.AppendChecksum(reply, computed, width)
 	if intact && r.e.cfg.Responder != nil {
 		data := r.e.cfg.Responder(UnpackBytes(r.payload, width))
 		if len(data) > 0 {

@@ -66,6 +66,8 @@ func (h HeaderSpec) Validate() error {
 //
 // An hw>=1 stage always gets its own ROUTE word carrying just its digit,
 // followed by hw-1 HEADER-PAD words, all of which that stage consumes.
+//
+//metrovet:alloc per-attempt header construction, not a per-cycle path
 func (h HeaderSpec) Build(digits []int) []word.Word {
 	if len(digits) != len(h.Stages) {
 		panic(fmt.Sprintf("nic: %d digits for %d stages", len(digits), len(h.Stages)))
@@ -101,6 +103,8 @@ func (h HeaderSpec) Build(digits []int) []word.Word {
 // StripStage transforms a word stream the way stage s consumes it: the
 // words a stage-(s+1) router would receive. Used to compute the expected
 // per-stage checksums for fault localization.
+//
+//metrovet:alloc per-attempt checksum precomputation, not a per-cycle path
 func (h HeaderSpec) StripStage(stream []word.Word, s int) []word.Word {
 	st := h.Stages[s]
 	out := make([]word.Word, 0, len(stream))
@@ -138,6 +142,8 @@ func (h HeaderSpec) StripStage(stream []word.Word, s int) []word.Word {
 // forward-segment words as received at that stage. The source compares
 // these with the reported values to localize a corrupting link to the
 // first disagreeing stage.
+//
+//metrovet:alloc per-attempt checksum precomputation, not a per-cycle path
 func (h HeaderSpec) ExpectedStageChecksums(sent []word.Word) []uint8 {
 	sums := make([]uint8, len(h.Stages))
 	stream := sent
@@ -156,6 +162,8 @@ func (h HeaderSpec) ExpectedStageChecksums(sent []word.Word) []uint8 {
 // bit stream: the first byte's low bit travels first. Works for any width
 // in [1, 32], including wide cascaded channels that carry several bytes
 // per word.
+//
+//metrovet:alloc per-message payload packing, not a per-cycle path
 func PackBytes(payload []byte, width int) []word.Word {
 	if width < 1 || width > 32 {
 		panic(fmt.Sprintf("nic: width %d outside [1,32]", width))
@@ -184,6 +192,8 @@ func PackBytes(payload []byte, width int) []word.Word {
 // trailing zero bytes: wide channels deliver payloads at channel-word
 // granularity, exactly as aligned hardware transfers do. Applications
 // needing byte-exact framing carry a length field in the payload.
+//
+//metrovet:alloc per-message payload unpacking, not a per-cycle path
 func UnpackBytes(words []word.Word, width int) []byte {
 	var out []byte
 	var acc uint64

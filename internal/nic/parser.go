@@ -65,6 +65,7 @@ func (p *parser) feed(w word.Word) {
 	if p.done || p.closed || p.failed {
 		return
 	}
+	//metrovet:nonexhaustive the remaining kinds fall through to the phase machine below
 	switch w.Kind {
 	case word.Empty, word.DataIdle:
 		return
@@ -94,14 +95,17 @@ func (p *parser) feed(w word.Word) {
 			p.failed = true
 			return
 		}
+		//metrovet:alloc buffer reused across groups; bounded by the checksum word count
 		p.ckbuf = append(p.ckbuf, w)
 		if len(p.ckbuf) < p.ckNeed {
 			return
 		}
+		//metrovet:nonexhaustive only the three checksum-collection phases reach this switch
 		switch p.phase {
 		case pRouterCk:
 			// Each lane's component reported its own CRC; the merged
 			// stream interleaves the chunks lane-wise within each word.
+			//metrovet:alloc grows to the stage count, once per status group
 			p.routerCks = append(p.routerCks, joinLaneChecksums(p.ckbuf, p.width, p.lanes))
 			if p.curBlocked {
 				p.blockedStage = len(p.routerCks) - 1
@@ -121,13 +125,17 @@ func (p *parser) feed(w word.Word) {
 	case pReply:
 		switch w.Kind {
 		case word.Data:
+			//metrovet:alloc buffer grows to the reply size, once per message
 			p.reply = append(p.reply, w)
 		case word.ChecksumWord:
 			p.startCk(pReplyCk)
 			p.feed(w)
 		case word.Turn:
 			p.done = true
-		default:
+		case word.Empty, word.Route, word.HeaderPad, word.DataIdle,
+			word.Status, word.Drop:
+			// Empty, DataIdle and Drop were consumed above; Route, HeaderPad
+			// or Status inside a reply is a protocol violation.
 			p.failed = true
 		}
 
@@ -159,6 +167,8 @@ func (p *parser) startCk(next pPhase) {
 // joinLaneChecksums reconstructs each lane's CRC-8 from the merged
 // checksum words: word k of the group carries lane m's k-th chunk in bit
 // positions [m*width, (m+1)*width).
+//
+//metrovet:alloc per-stage checksum reconstruction, once per status group
 func joinLaneChecksums(merged []word.Word, width, lanes int) []uint8 {
 	out := make([]uint8, lanes)
 	for lane := 0; lane < lanes; lane++ {

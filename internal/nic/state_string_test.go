@@ -1,0 +1,52 @@
+package nic
+
+import "testing"
+
+// TestSenderStateString pins the mnemonic for every sender state.
+func TestSenderStateString(t *testing.T) {
+	want := []struct {
+		s    sState
+		name string
+	}{
+		{sIdle, "IDLE"},
+		{sSending, "SENDING"},
+		{sListening, "LISTENING"},
+		{sDropping, "DROPPING"},
+		{sCooldown, "COOLDOWN"},
+	}
+	if len(want) != len(sStateNames) {
+		t.Fatalf("test covers %d states, sStateNames has %d", len(want), len(sStateNames))
+	}
+	for _, tc := range want {
+		if got := tc.s.String(); got != tc.name {
+			t.Errorf("sState(%d).String() = %q, want %q", uint8(tc.s), got, tc.name)
+		}
+	}
+	if got := sState(200).String(); got != "sState(200)" {
+		t.Errorf("out-of-range String() = %q, want %q", got, "sState(200)")
+	}
+}
+
+// TestReceiverStateString pins the mnemonic for every receiver state.
+func TestReceiverStateString(t *testing.T) {
+	want := []struct {
+		s    rState
+		name string
+	}{
+		{rIdle, "IDLE"},
+		{rAssemble, "ASSEMBLE"},
+		{rReply, "REPLY"},
+		{rClosing, "CLOSING"},
+	}
+	if len(want) != len(rStateNames) {
+		t.Fatalf("test covers %d states, rStateNames has %d", len(want), len(rStateNames))
+	}
+	for _, tc := range want {
+		if got := tc.s.String(); got != tc.name {
+			t.Errorf("rState(%d).String() = %q, want %q", uint8(tc.s), got, tc.name)
+		}
+	}
+	if got := rState(200).String(); got != "rState(200)" {
+		t.Errorf("out-of-range String() = %q, want %q", got, "rState(200)")
+	}
+}

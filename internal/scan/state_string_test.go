@@ -1,0 +1,39 @@
+package scan
+
+import "testing"
+
+// TestStateString pins the IEEE 1149.1 standard name of every TAP state.
+func TestStateString(t *testing.T) {
+	want := []struct {
+		s    State
+		name string
+	}{
+		{TestLogicReset, "Test-Logic-Reset"},
+		{RunTestIdle, "Run-Test/Idle"},
+		{SelectDRScan, "Select-DR-Scan"},
+		{CaptureDR, "Capture-DR"},
+		{ShiftDR, "Shift-DR"},
+		{Exit1DR, "Exit1-DR"},
+		{PauseDR, "Pause-DR"},
+		{Exit2DR, "Exit2-DR"},
+		{UpdateDR, "Update-DR"},
+		{SelectIRScan, "Select-IR-Scan"},
+		{CaptureIR, "Capture-IR"},
+		{ShiftIR, "Shift-IR"},
+		{Exit1IR, "Exit1-IR"},
+		{PauseIR, "Pause-IR"},
+		{Exit2IR, "Exit2-IR"},
+		{UpdateIR, "Update-IR"},
+	}
+	if len(want) != len(stateNames) {
+		t.Fatalf("test covers %d states, stateNames has %d", len(want), len(stateNames))
+	}
+	for _, tc := range want {
+		if got := tc.s.String(); got != tc.name {
+			t.Errorf("State(%d).String() = %q, want %q", uint8(tc.s), got, tc.name)
+		}
+	}
+	if got := State(200).String(); got != "State(200)" {
+		t.Errorf("out-of-range String() = %q, want %q", got, "State(200)")
+	}
+}

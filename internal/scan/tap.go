@@ -243,6 +243,7 @@ func (t *TAP) Step(tms, tdi bool) (tdo bool) {
 		return false
 	}
 	// TDO presents the bit being shifted out before the state advances.
+	//metrovet:nonexhaustive only the shift states present TDO; every other state holds it low
 	switch t.state {
 	case ShiftDR:
 		if len(t.drShift) > 0 {
@@ -260,6 +261,7 @@ func (t *TAP) Step(tms, tdi bool) (tdo bool) {
 
 	t.state = t.state.Next(tms)
 
+	//metrovet:nonexhaustive only reset/capture/update states act on this edge; the rest only steer
 	switch t.state {
 	case TestLogicReset:
 		t.ir = IDCODE

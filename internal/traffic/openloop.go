@@ -73,6 +73,7 @@ func (o *OpenLoop) Eval(cycle uint64) {
 			continue
 		}
 		dest := o.Pattern.Dest(e, n, o.rng)
+		//metrovet:alloc per-injected-message payload; ownership transfers to the endpoint queue
 		payload := make([]byte, o.MsgBytes)
 		o.rng.Read(payload)
 		o.net.Send(e, dest, payload)

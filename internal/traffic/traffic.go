@@ -204,6 +204,7 @@ func (c *ClosedLoop) Eval(cycle uint64) {
 			continue
 		}
 		dest := c.Pattern.Dest(e, n, c.rng)
+		//metrovet:alloc per-injected-message payload; ownership transfers to the endpoint queue
 		payload := make([]byte, c.MsgBytes)
 		for i := range payload {
 			payload[i] = byte(c.rng.Intn(256))

@@ -44,6 +44,8 @@ func (c *Checksum) Add(w Word) {
 	switch w.Kind {
 	case Route, HeaderPad, Data, ChecksumWord:
 		c.AddByte(uint8(w.Payload))
+	case Empty, DataIdle, Turn, Status, Drop:
+		// Control words are excluded from the segment checksum.
 	}
 }
 
@@ -77,6 +79,19 @@ func SplitChecksum(sum uint8, width int) []Word {
 		v >>= uint(min(width, 32))
 	}
 	return out
+}
+
+// AppendChecksum appends the ChecksumWords(width) channel words carrying a
+// CRC-8 value to dst, least-significant chunk first: the allocation-free
+// form of SplitChecksum for per-cycle paths that reuse a scratch buffer.
+func AppendChecksum(dst []Word, sum uint8, width int) []Word {
+	n := ChecksumWords(width)
+	v := uint32(sum)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Word{Kind: ChecksumWord, Payload: v & Mask(width)})
+		v >>= uint(min(width, 32))
+	}
+	return dst
 }
 
 // JoinChecksum reassembles a CRC-8 value from channel words produced by

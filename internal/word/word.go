@@ -110,7 +110,11 @@ func (w Word) String() string {
 		return fmt.Sprintf("ROUTE(%#x/%db)", w.Payload, w.Bits)
 	case Data, Status, ChecksumWord:
 		return fmt.Sprintf("%s(%#x)", w.Kind, w.Payload)
+	case Empty, HeaderPad, DataIdle, Turn, Drop:
+		return w.Kind.String()
 	default:
+		// Out-of-band kind value (corrupted word): Kind.String prints it
+		// numerically.
 		return w.Kind.String()
 	}
 }
