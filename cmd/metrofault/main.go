@@ -32,6 +32,7 @@ func main() {
 	window := flag.Uint64("window", 4000, "cycles over which faults appear")
 	measure := flag.Uint64("measure", 12000, "measured cycles after the fault window")
 	seed := flag.Int64("seed", 9, "seed")
+	workers := flag.Int("workers", 0, "parallel Eval/Commit workers; 0 runs the serial reference engine")
 	flag.Parse()
 
 	var counts []int
@@ -44,14 +45,18 @@ func main() {
 		counts = append(counts, v)
 	}
 
-	fmt.Printf("fault degradation sweep: %s kills, load %.2f, %d-byte messages\n",
-		*kind, *load, *msgBytes)
+	engine := "serial engine"
+	if *workers > 0 {
+		engine = fmt.Sprintf("parallel engine, workers=%d", *workers)
+	}
+	fmt.Printf("fault degradation sweep: %s kills, load %.2f, %d-byte messages, %s\n",
+		*kind, *load, *msgBytes, engine)
 	t := stats.Table{Header: []string{
 		"faults", "delivered", "failed", "mean lat", "p95", "retries/msg", "timeouts",
 	}}
 	for _, count := range counts {
 		p, failed, timeouts := runWithFaults(*kind, count, *load, *msgBytes,
-			*warmup, *window, *measure, *seed)
+			*warmup, *window, *measure, *seed, *workers)
 		t.Add(
 			fmt.Sprintf("%d", count),
 			fmt.Sprintf("%d", p.Delivered),
@@ -67,7 +72,7 @@ func main() {
 }
 
 func runWithFaults(kind string, count int, load float64, msgBytes int,
-	warmup, window, measure uint64, seed int64) (stats.LoadPoint, int, int) {
+	warmup, window, measure uint64, seed int64, workers int) (stats.LoadPoint, int, int) {
 	driver := &traffic.ClosedLoop{
 		Load:        load,
 		MsgBytes:    msgBytes,
@@ -85,6 +90,7 @@ func runWithFaults(kind string, count int, load float64, msgBytes int,
 		Seed:          seed,
 		RetryLimit:    500,
 		ListenTimeout: 300,
+		Workers:       workers,
 		OnResult:      driver.OnResult,
 	}
 	n, err := netsim.Build(params)
@@ -92,6 +98,7 @@ func runWithFaults(kind string, count int, load float64, msgBytes int,
 		fmt.Fprintf(os.Stderr, "metrofault: %v\n", err)
 		os.Exit(1)
 	}
+	defer n.Close()
 	driver.Bind(n)
 
 	var plan metro.FaultPlan

@@ -40,6 +40,7 @@ func main() {
 	outstanding := flag.Int("outstanding", 1, "messages in flight per endpoint")
 	openloop := flag.Bool("openloop", false, "Bernoulli (open-loop) injection instead of processor-stall")
 	hist := flag.Bool("hist", false, "print the latency histogram of the highest-load point")
+	workers := flag.Int("workers", 0, "parallel Eval/Commit workers; 0 runs the serial reference engine")
 	flag.Parse()
 
 	var spec metro.TopologySpec
@@ -93,6 +94,7 @@ func main() {
 			CascadeWidth: *cascadeW,
 			Seed:         *seed,
 			RetryLimit:   1000,
+			Workers:      *workers,
 		},
 		MsgBytes:      *msgBytes,
 		Pattern:       pat,
@@ -106,8 +108,12 @@ func main() {
 	if *openloop {
 		model = "open-loop"
 	}
-	fmt.Printf("network %s, %d endpoints, %s %s traffic, %d-byte messages, w=%d dp=%d vtd=%d hw=%d c=%d\n",
-		*network, spec.Endpoints, model, pat.Name(), *msgBytes, *width, *dp, *vtd, *hw, *cascadeW)
+	engine := "serial engine"
+	if *workers > 0 {
+		engine = fmt.Sprintf("parallel engine, workers=%d", *workers)
+	}
+	fmt.Printf("network %s, %d endpoints, %s %s traffic, %d-byte messages, w=%d dp=%d vtd=%d hw=%d c=%d, %s\n",
+		*network, spec.Endpoints, model, pat.Name(), *msgBytes, *width, *dp, *vtd, *hw, *cascadeW, engine)
 	sweep := metro.LoadSweep
 	if *openloop {
 		sweep = metro.OpenLoopSweep

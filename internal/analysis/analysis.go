@@ -23,6 +23,9 @@
 //	                                handles a subset of the states
 //	//metrovet:alloc <reason>     — this hot-path allocation is justified
 //	                                (per-message work, preallocated capacity)
+//	//metrovet:shared <reason>    — this Eval-phase touch of another
+//	                                component's state is safe (co-located on
+//	                                one shard, or serialized epilogue)
 //	//metrovet:ignore <rule> <reason> — suppress any rule on this line
 //
 // A directive with no reason does not suppress anything: the justification
@@ -70,6 +73,7 @@ func Analyzers() []*Analyzer {
 		InvariantCoverage(),
 		EnumSwitch(),
 		HotPathAlloc(),
+		EvalIsolation(),
 	}
 }
 
@@ -213,7 +217,7 @@ func parseDirective(text string) (directive, bool) {
 	kind, rest, _ := strings.Cut(body, " ")
 	rest = strings.TrimSpace(rest)
 	switch kind {
-	case "ordered", "mutator", "nonexhaustive", "alloc":
+	case "ordered", "mutator", "nonexhaustive", "alloc", "shared":
 		if rest == "" {
 			return directive{}, false
 		}

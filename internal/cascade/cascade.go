@@ -21,6 +21,7 @@ package cascade
 import (
 	"fmt"
 
+	"metro/internal/clock"
 	"metro/internal/core"
 	"metro/internal/prng"
 	"metro/internal/word"
@@ -51,6 +52,17 @@ func NewGroup(name string, cfg core.Config, set core.Settings, c int, shared *pr
 	return g
 }
 
+// AddTo registers the group with the engine under the given co-location
+// affinity. This is the cascade's shard-affinity declaration for the
+// parallel engine: the members draw from one shared LFSR stream and the
+// wired-AND IN-USE check reads every member within a cycle, so the
+// whole group must evaluate on a single shard. The Group being one
+// clock.Component enforces that by construction — AddTo exists so
+// assemblers state the affinity explicitly (and can co-locate the
+// group's links on the same shard) instead of registering members ad
+// hoc.
+func (g *Group) AddTo(e *clock.Engine, aff clock.ShardAffinity) { e.AddSharded(aff, g) }
+
 // Width returns the cascade width c.
 func (g *Group) Width() int { return len(g.members) }
 
@@ -62,6 +74,8 @@ func (g *Group) Kills() int { return g.kills }
 
 // Eval evaluates every member and then applies the wired-AND IN-USE
 // consistency check.
+//
+//metrovet:shared members are the group's own state: only the Group is engine-registered, and AddTo pins it to one shard
 func (g *Group) Eval(cycle uint64) {
 	for _, r := range g.members {
 		r.Eval(cycle)
@@ -78,6 +92,8 @@ func (g *Group) Commit(cycle uint64) {
 
 // check compares the members' backward-port allocation masks and kills any
 // connection the members disagree about, on every member.
+//
+//metrovet:shared the wired-AND check reads all co-located members within the cycle; that is why a Group must never be split across shards
 func (g *Group) check(cycle uint64) {
 	base := g.members[0].BackwardInUse()
 	agree := true

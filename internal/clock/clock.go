@@ -14,7 +14,35 @@
 // whose outputs change only in Commit, the order in which components Eval
 // within a cycle is irrelevant: the model is a faithful register-transfer
 // abstraction of a synchronous circuit.
+//
+// # Parallel execution
+//
+// The register-transfer abstraction is also a license to evaluate
+// components concurrently. SetWorkers(n) with n >= 1 partitions the
+// sharded components (registered with AddSharded) across n shards and
+// fans each phase over a pool of worker goroutines, with a barrier
+// between Eval and Commit. Because a well-behaved component's Eval
+// touches only its own state plus the staged slots of its attached link
+// ends — distinct memory per writer — and its Commit latches only its own
+// registers, the phase barrier is the only synchronization needed, and
+// the parallel schedule is bit-for-bit equivalent to the serial one.
+//
+// Components whose Eval reaches into other components' state — traffic
+// drivers calling Network.Send, fault injectors killing links — must be
+// registered with plain Add. In parallel mode those form the serialized
+// epilogue: they run one at a time, in registration order, after the
+// worker barrier of each phase. Registering them after every sharded
+// component (as netsim and the drivers do) makes the epilogue schedule
+// identical to their position in the serial loop, preserving bit-for-bit
+// equivalence. Components that share combinational or randomness state
+// every cycle (cascade groups over a shared LFSR) must be co-located on
+// one shard: register them under a single ShardAffinity.
 package clock
+
+import (
+	"runtime"
+	"sync"
+)
 
 // Component is a clocked element of the simulated system.
 type Component interface {
@@ -27,31 +55,142 @@ type Component interface {
 	Commit(cycle uint64)
 }
 
-// Engine drives a set of components from a single central clock.
-type Engine struct {
-	components []Component
-	cycle      uint64
+// ShardAffinity identifies a co-location group: every component registered
+// under the same affinity is evaluated by the same worker, in registration
+// order, so components that share combinational or randomness state within
+// a cycle can never race. Obtain affinities from Engine.NewShardAffinity.
+type ShardAffinity int
+
+// serialized marks a component registered with plain Add: it runs in the
+// serialized epilogue after the worker barrier in parallel mode.
+const serialized ShardAffinity = -1
+
+// entry is one registered component with its shard assignment.
+type entry struct {
+	comp  Component
+	shard ShardAffinity
 }
 
-// New returns an empty engine at cycle 0.
+// Engine drives a set of components from a single central clock.
+//
+// The zero-worker engine (the default, and SetWorkers(0)) is the serial
+// reference implementation: one goroutine, components evaluated and
+// committed in registration order. SetWorkers(n >= 1) selects the
+// partitioned parallel engine described in the package comment.
+type Engine struct {
+	entries []entry
+	nextAff ShardAffinity
+	cycle   uint64
+	workers int
+	pool    *pool
+}
+
+// New returns an empty engine at cycle 0, in serial mode.
 func New() *Engine { return &Engine{} }
 
-// Add registers components with the engine's clock.
-func (e *Engine) Add(cs ...Component) { e.components = append(e.components, cs...) }
+// Add registers components with the engine's clock. In parallel mode they
+// run in the serialized epilogue (after the worker barrier, in
+// registration order) — the safe default for components whose Eval
+// touches other components' state, such as traffic drivers and fault
+// injectors.
+func (e *Engine) Add(cs ...Component) {
+	e.invalidate()
+	for _, c := range cs {
+		e.entries = append(e.entries, entry{comp: c, shard: serialized})
+	}
+}
+
+// NewShardAffinity allocates a fresh co-location group for AddSharded.
+func (e *Engine) NewShardAffinity() ShardAffinity {
+	a := e.nextAff
+	e.nextAff++
+	return a
+}
+
+// AddSharded registers components under a co-location group. All
+// components sharing an affinity are pinned to one worker and evaluated
+// in registration order; components under different affinities may
+// evaluate concurrently, so a sharded component's Eval must touch only
+// its own state and its attached link ends.
+func (e *Engine) AddSharded(a ShardAffinity, cs ...Component) {
+	if a < 0 || a >= e.nextAff {
+		panic("clock: AddSharded affinity was not obtained from NewShardAffinity")
+	}
+	e.invalidate()
+	for _, c := range cs {
+		e.entries = append(e.entries, entry{comp: c, shard: a})
+	}
+}
+
+// AddColocated registers components under a fresh co-location group and
+// returns the affinity, for attaching further components later.
+func (e *Engine) AddColocated(cs ...Component) ShardAffinity {
+	a := e.NewShardAffinity()
+	e.AddSharded(a, cs...)
+	return a
+}
+
+// SetWorkers selects the execution mode: 0 (or negative) restores the
+// serial reference engine; n >= 1 partitions sharded components across n
+// shards executed by min(n, GOMAXPROCS) persistent worker goroutines.
+// The schedule is bit-for-bit equivalent for every n, so n is purely a
+// throughput knob. Changing the worker count mid-run is allowed; the
+// pool is rebuilt lazily on the next Step.
+func (e *Engine) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.invalidate()
+	e.workers = n
+}
+
+// Workers returns the configured worker count (0 = serial engine).
+func (e *Engine) Workers() int { return e.workers }
+
+// StopWorkers releases the worker goroutines, if any are running. The
+// engine remains usable: the pool restarts lazily on the next parallel
+// Step. Call it when discarding an engine driven in parallel mode, so
+// sweeps over many networks do not accumulate idle goroutines.
+func (e *Engine) StopWorkers() { e.invalidate() }
+
+// invalidate tears down the worker pool; registration changes and mode
+// switches rebuild it lazily on the next Step.
+func (e *Engine) invalidate() {
+	if e.pool != nil {
+		e.pool.stop()
+		e.pool = nil
+	}
+}
 
 // Cycle returns the number of completed clock cycles.
 func (e *Engine) Cycle() uint64 { return e.cycle }
 
 // Components returns the number of registered components.
-func (e *Engine) Components() int { return len(e.components) }
+func (e *Engine) Components() int { return len(e.entries) }
 
 // Step advances the system by one clock cycle.
 func (e *Engine) Step() {
+	if e.workers == 0 {
+		c := e.cycle
+		for i := range e.entries {
+			e.entries[i].comp.Eval(c)
+		}
+		for i := range e.entries {
+			e.entries[i].comp.Commit(c)
+		}
+		e.cycle++
+		return
+	}
+	if e.pool == nil {
+		e.pool = newPool(e.workers, e.entries)
+	}
 	c := e.cycle
-	for _, comp := range e.components {
+	e.pool.phase(phaseEval, c)
+	for _, comp := range e.pool.serial {
 		comp.Eval(c)
 	}
-	for _, comp := range e.components {
+	e.pool.phase(phaseCommit, c)
+	for _, comp := range e.pool.serial {
 		comp.Commit(c)
 	}
 	e.cycle++
@@ -67,6 +206,14 @@ func (e *Engine) Run(n uint64) {
 // RunUntil steps the clock until done reports true or max cycles have
 // elapsed (counted from the current cycle), whichever comes first. It
 // returns true if done reported true.
+//
+// The predicate is checked before each step and once more after the
+// budget is exhausted: done is evaluated max+1 times in the worst case,
+// and when it returns true before the first check, zero cycles run. The
+// consequence that looks like an off-by-one is deliberate: a run that
+// goes quiet exactly on its last budgeted cycle still reports success,
+// because the final check observes the state after that step. See
+// TestRunUntilBoundary for the exact accounting.
 func (e *Engine) RunUntil(done func() bool, max uint64) bool {
 	for i := uint64(0); i < max; i++ {
 		if done() {
@@ -75,4 +222,96 @@ func (e *Engine) RunUntil(done func() bool, max uint64) bool {
 		e.Step()
 	}
 	return done()
+}
+
+// phaseKind selects which half of the two-phase cycle a worker executes.
+type phaseKind uint8
+
+const (
+	phaseEval phaseKind = iota
+	phaseCommit
+)
+
+// poolCmd is one phase broadcast to a worker.
+type poolCmd struct {
+	kind  phaseKind
+	cycle uint64
+}
+
+// pool is the parallel engine's worker set. Shard count equals the
+// configured worker count (so the partition is a pure function of the
+// registration sequence); goroutine count is bounded by GOMAXPROCS, each
+// goroutine executing shards i, i+g, i+2g, … in order. The barrier
+// WaitGroup plus the command channels provide the happens-before edges:
+// every write a worker makes during a phase is visible to the
+// coordinator after phase() returns, and to every worker on the next
+// phase broadcast.
+type pool struct {
+	shards  [][]Component // shard index -> components, registration order
+	serial  []Component   // serialized epilogue, registration order
+	cmd     []chan poolCmd
+	barrier sync.WaitGroup
+	done    sync.WaitGroup
+}
+
+func newPool(workers int, entries []entry) *pool {
+	p := &pool{shards: make([][]Component, workers)}
+	for _, en := range entries {
+		if en.shard < 0 {
+			p.serial = append(p.serial, en.comp)
+			continue
+		}
+		s := int(en.shard) % workers
+		p.shards[s] = append(p.shards[s], en.comp)
+	}
+	g := workers
+	if max := runtime.GOMAXPROCS(0); g > max {
+		g = max
+	}
+	p.cmd = make([]chan poolCmd, g)
+	p.done.Add(g)
+	for i := range p.cmd {
+		p.cmd[i] = make(chan poolCmd)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *pool) worker(i int) {
+	defer p.done.Done()
+	stride := len(p.cmd)
+	for cmd := range p.cmd[i] {
+		for s := i; s < len(p.shards); s += stride {
+			comps := p.shards[s]
+			switch cmd.kind {
+			case phaseEval:
+				for _, c := range comps {
+					c.Eval(cmd.cycle)
+				}
+			case phaseCommit:
+				for _, c := range comps {
+					c.Commit(cmd.cycle)
+				}
+			}
+		}
+		p.barrier.Done()
+	}
+}
+
+// phase broadcasts one half-cycle to every worker and waits for all of
+// them to finish it.
+func (p *pool) phase(kind phaseKind, cycle uint64) {
+	p.barrier.Add(len(p.cmd))
+	for _, ch := range p.cmd {
+		ch <- poolCmd{kind: kind, cycle: cycle}
+	}
+	p.barrier.Wait()
+}
+
+// stop shuts the workers down and waits for them to exit.
+func (p *pool) stop() {
+	for _, ch := range p.cmd {
+		close(ch)
+	}
+	p.done.Wait()
 }

@@ -67,6 +67,39 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestRunUntilBoundary pins RunUntil's documented accounting: the
+// predicate is checked before each step and once more after the budget
+// is exhausted, so it runs max+1 times when never satisfied, and a
+// condition that becomes true exactly on the last budgeted cycle still
+// reports success.
+func TestRunUntilBoundary(t *testing.T) {
+	e := New()
+	c := &counter{}
+	e.Add(c)
+
+	checks := 0
+	ok := e.RunUntil(func() bool { checks++; return false }, 4)
+	if ok {
+		t.Fatal("unsatisfiable predicate should report false")
+	}
+	if checks != 5 {
+		t.Fatalf("predicate checked %d times, want max+1 = 5", checks)
+	}
+	if c.evals != 4 {
+		t.Fatalf("evals = %d, want the full budget of 4", c.evals)
+	}
+
+	// Success on the very last budgeted cycle: the final check observes
+	// the state after the last step.
+	ok = e.RunUntil(func() bool { return c.evals >= 7 }, 3)
+	if !ok {
+		t.Fatal("condition satisfied by the last budgeted step should report true")
+	}
+	if c.evals != 7 {
+		t.Fatalf("evals = %d, want 7", c.evals)
+	}
+}
+
 func TestRunUntilImmediatelyDone(t *testing.T) {
 	e := New()
 	c := &counter{}

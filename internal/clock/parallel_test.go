@@ -1,0 +1,268 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// barrierProbe checks the two-phase contract under concurrency: every
+// Eval of cycle c must complete before any Commit of cycle c starts, and
+// every Commit of cycle c before any Eval of cycle c+1. All probes share
+// the counters; violations are recorded atomically and asserted after
+// the run.
+type barrierProbe struct {
+	n          int64 // total probes registered
+	evals      *atomic.Int64
+	commits    *atomic.Int64
+	violations *atomic.Int64
+}
+
+func (b *barrierProbe) Eval(cycle uint64) {
+	if b.commits.Load() != int64(cycle)*b.n {
+		b.violations.Add(1)
+	}
+	b.evals.Add(1)
+}
+
+func (b *barrierProbe) Commit(cycle uint64) {
+	if b.evals.Load() != int64(cycle+1)*b.n {
+		b.violations.Add(1)
+	}
+	b.commits.Add(1)
+}
+
+func TestParallelPhaseBarrier(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		e := New()
+		var evals, commits, violations atomic.Int64
+		const sharded, epilogue = 13, 3
+		probes := make([]*barrierProbe, 0, sharded+epilogue)
+		for i := 0; i < sharded+epilogue; i++ {
+			probes = append(probes, &barrierProbe{
+				n: sharded + epilogue, evals: &evals, commits: &commits, violations: &violations,
+			})
+		}
+		for i := 0; i < sharded; i++ {
+			e.AddSharded(e.NewShardAffinity(), probes[i])
+		}
+		for i := sharded; i < sharded+epilogue; i++ {
+			e.Add(probes[i])
+		}
+		e.SetWorkers(workers)
+		e.Run(50)
+		e.StopWorkers()
+		if v := violations.Load(); v != 0 {
+			t.Errorf("workers=%d: %d phase-barrier violations", workers, v)
+		}
+		if got := evals.Load(); got != 50*(sharded+epilogue) {
+			t.Errorf("workers=%d: evals = %d", workers, got)
+		}
+	}
+}
+
+// orderProbe appends to an unsynchronized log. Safe only when every
+// probe sharing a log is pinned to one shard (co-location) or runs in
+// the serialized epilogue — which is exactly what the tests assert,
+// with the race detector watching.
+type orderProbe struct {
+	log  *[]string
+	name string
+}
+
+func (p *orderProbe) Eval(cycle uint64)   { *p.log = append(*p.log, p.name+"E") }
+func (p *orderProbe) Commit(cycle uint64) { *p.log = append(*p.log, p.name+"C") }
+
+func TestColocationPreservesOrder(t *testing.T) {
+	e := New()
+	var log []string
+	aff := e.NewShardAffinity()
+	e.AddSharded(aff, &orderProbe{&log, "a"}, &orderProbe{&log, "b"})
+	e.AddSharded(aff, &orderProbe{&log, "c"})
+	// Unrelated shards keep the workers busy around the co-located group.
+	for i := 0; i < 5; i++ {
+		e.AddColocated(&counter{})
+	}
+	e.SetWorkers(8)
+	e.Run(3)
+	e.StopWorkers()
+	want := []string{"aE", "bE", "cE", "aC", "bC", "cC"}
+	if len(log) != 3*len(want) {
+		t.Fatalf("log length = %d, want %d", len(log), 3*len(want))
+	}
+	for i, entry := range log {
+		if entry != want[i%len(want)] {
+			t.Fatalf("log[%d] = %q, want %q (log %v)", i, entry, want[i%len(want)], log)
+		}
+	}
+}
+
+func TestSerializedEpilogueOrder(t *testing.T) {
+	e := New()
+	var log []string
+	for i := 0; i < 6; i++ {
+		e.AddColocated(&counter{})
+	}
+	// Plain Add components share a log with no locking: the epilogue
+	// must serialize them in registration order.
+	e.Add(&orderProbe{&log, "x"}, &orderProbe{&log, "y"})
+	e.SetWorkers(4)
+	e.Run(10)
+	e.StopWorkers()
+	want := []string{"xE", "yE", "xC", "yC"}
+	if len(log) != 10*len(want) {
+		t.Fatalf("log length = %d, want %d", len(log), 10*len(want))
+	}
+	for i, entry := range log {
+		if entry != want[i%len(want)] {
+			t.Fatalf("log[%d] = %q, want %q", i, entry, want[i%len(want)])
+		}
+	}
+}
+
+// latch is a synthetic two-phase register network node: Eval computes a
+// mix of the committed outputs of its inputs (previous cycle's values),
+// Commit latches it. Identical to how routers read link registers.
+type latch struct {
+	inputs []*latch
+	q, d   uint64
+}
+
+func (l *latch) Eval(cycle uint64) {
+	acc := l.q*6364136223846793005 + 1442695040888963407
+	for _, in := range l.inputs {
+		acc ^= in.q + cycle
+	}
+	l.d = acc
+}
+
+func (l *latch) Commit(cycle uint64) { l.q = l.d }
+
+// buildLatchRing wires n latches where node i reads nodes i-1 and i+1.
+func buildLatchRing(n int) []*latch {
+	ls := make([]*latch, n)
+	for i := range ls {
+		ls[i] = &latch{q: uint64(i) * 2654435761}
+	}
+	for i := range ls {
+		ls[i].inputs = []*latch{ls[(i+n-1)%n], ls[(i+1)%n]}
+	}
+	return ls
+}
+
+// TestParallelMatchesSerial is the kernel-level differential test: the
+// same register network stepped by the serial engine and by the parallel
+// engine at several worker counts must produce bit-identical state.
+func TestParallelMatchesSerial(t *testing.T) {
+	const n, cycles = 24, 200
+	run := func(workers int) []uint64 {
+		e := New()
+		ls := buildLatchRing(n)
+		for _, l := range ls {
+			e.AddSharded(e.NewShardAffinity(), l)
+		}
+		e.SetWorkers(workers)
+		e.Run(cycles)
+		e.StopWorkers()
+		out := make([]uint64, n)
+		for i, l := range ls {
+			out[i] = l.q
+		}
+		return out
+	}
+	want := run(0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: latch %d state %#x, want %#x", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSetWorkersMidRun switches execution modes mid-simulation; the
+// final state must match an uninterrupted serial run.
+func TestSetWorkersMidRun(t *testing.T) {
+	const n = 16
+	serial := New()
+	sls := buildLatchRing(n)
+	for _, l := range sls {
+		serial.Add(l)
+	}
+	serial.Run(90)
+
+	e := New()
+	ls := buildLatchRing(n)
+	for _, l := range ls {
+		e.AddSharded(e.NewShardAffinity(), l)
+	}
+	e.Run(30) // serial mode
+	e.SetWorkers(4)
+	e.Run(30) // parallel
+	e.SetWorkers(0)
+	e.Run(15)
+	e.SetWorkers(2)
+	e.Run(15)
+	e.StopWorkers()
+
+	if e.Cycle() != serial.Cycle() {
+		t.Fatalf("cycle = %d, want %d", e.Cycle(), serial.Cycle())
+	}
+	for i := range ls {
+		if ls[i].q != sls[i].q {
+			t.Fatalf("latch %d state %#x, want %#x", i, ls[i].q, sls[i].q)
+		}
+	}
+}
+
+func TestAddAfterParallelStepRebuildsPool(t *testing.T) {
+	e := New()
+	c1 := &counter{}
+	e.AddColocated(c1)
+	e.SetWorkers(2)
+	e.Run(5)
+	c2 := &counter{}
+	e.AddColocated(c2) // tears down and lazily rebuilds the pool
+	e.Run(5)
+	e.StopWorkers()
+	if c1.evals != 10 || c2.evals != 5 {
+		t.Fatalf("evals = %d, %d; want 10, 5", c1.evals, c2.evals)
+	}
+}
+
+func TestStopWorkersIdempotent(t *testing.T) {
+	e := New()
+	e.AddColocated(&counter{})
+	e.StopWorkers() // no pool yet
+	e.SetWorkers(3)
+	e.Run(2)
+	e.StopWorkers()
+	e.StopWorkers() // second stop is a no-op
+	e.Run(2)        // pool restarts lazily
+	e.StopWorkers()
+}
+
+func TestAddShardedRejectsForeignAffinity(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSharded with a made-up affinity should panic")
+		}
+	}()
+	e.AddSharded(ShardAffinity(7), &counter{})
+}
+
+func TestWorkersAccessor(t *testing.T) {
+	e := New()
+	if e.Workers() != 0 {
+		t.Fatalf("fresh engine workers = %d", e.Workers())
+	}
+	e.SetWorkers(6)
+	if e.Workers() != 6 {
+		t.Fatalf("workers = %d, want 6", e.Workers())
+	}
+	e.SetWorkers(-3)
+	if e.Workers() != 0 {
+		t.Fatalf("negative worker count should clamp to 0, got %d", e.Workers())
+	}
+}

@@ -112,6 +112,9 @@ func (i *Injector) Commit(cycle uint64) {}
 // Fired returns the events applied so far.
 func (i *Injector) Fired() []Event { return i.fired }
 
+// apply mutates links and routers across the whole network.
+//
+//metrovet:shared injector registers via Engine.Add, so it runs in the serialized epilogue after the worker barrier
 func (i *Injector) apply(e Event) {
 	switch e.Kind {
 	case LinkKill:
@@ -129,6 +132,7 @@ func (i *Injector) apply(e Event) {
 	}
 }
 
+//metrovet:shared injector registers via Engine.Add, so it runs in the serialized epilogue after the worker barrier
 func (i *Injector) linkOf(e Event) *link.Link {
 	if e.Stage < 0 {
 		return i.net.InjectLink(e.Index, e.Port)

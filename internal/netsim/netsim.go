@@ -79,8 +79,22 @@ type Params struct {
 	// before its reply is ready; the connection is held open with
 	// DATA-IDLE fill meanwhile.
 	ResponderDelay func(dest int, payload []byte) int
-	// Tracer, when set, observes router events.
+	// Tracer, when set, observes router events. Tracing requires the
+	// serial engine: Build rejects Tracer combined with Workers > 0,
+	// because routers on different shards would interleave trace calls
+	// nondeterministically.
 	Tracer core.Tracer
+	// Workers selects the engine execution mode: 0 (the default) runs
+	// the serial reference engine; n >= 1 runs the partitioned parallel
+	// engine with n shards (stage-major partitioning — each router
+	// column and each endpoint is a co-location group; see
+	// internal/clock). Results are bit-for-bit identical for every
+	// value, so Workers is purely a throughput knob. Responder and
+	// ResponderDelay run on worker goroutines when Workers > 0 and must
+	// therefore be pure functions of their arguments; OnResult and
+	// OnDeliver are unaffected (they are replayed in deterministic
+	// order on the coordinating goroutine in both modes).
+	Workers int
 	// OnResult, when set, observes every completed message in addition to
 	// the Results accumulator.
 	OnResult func(nic.Result)
@@ -122,7 +136,52 @@ type Network struct {
 
 	results []nic.Result
 	nextID  uint64
+	events  [][]event // per-endpoint callback buffers, drained by the collector
 }
+
+// event is one endpoint callback (completion or delivery) captured
+// during Eval and replayed by the collector in deterministic order:
+// cycle-major, endpoint-index minor, per-endpoint FIFO — exactly the
+// order the serial engine's in-Eval callbacks produced before buffering
+// existed. Using the same buffered path in serial and parallel modes
+// makes callback ordering trivially identical between them.
+type event struct {
+	isResult bool
+	result   nic.Result
+	payload  []byte
+	intact   bool
+}
+
+// collector is the unexported component that replays buffered endpoint
+// callbacks. It is registered with plain Engine.Add — after every
+// sharded component, before any driver — so in parallel mode it runs in
+// the serialized epilogue: all endpoint Evals have completed (barrier),
+// and drivers whose OnResult hooks mutate their own state and draw
+// random numbers observe completions in the same order as a serial run.
+type collector struct{ n *Network }
+
+func (col *collector) Eval(cycle uint64) {
+	n := col.n
+	for e := range n.events {
+		buf := n.events[e]
+		for i := range buf {
+			ev := buf[i]
+			if ev.isResult {
+				//metrovet:alloc per-completed-message accounting, amortized by slice growth
+				n.results = append(n.results, ev.result)
+				if n.Params.OnResult != nil {
+					n.Params.OnResult(ev.result)
+				}
+			} else {
+				n.Params.OnDeliver(e, ev.payload, ev.intact)
+			}
+			buf[i] = event{} // release payload references
+		}
+		n.events[e] = buf[:0]
+	}
+}
+
+func (col *collector) Commit(cycle uint64) {}
 
 // Build elaborates and wires the network.
 func Build(p Params) (*Network, error) {
@@ -132,6 +191,30 @@ func Build(p Params) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{Params: p, Topo: top, Engine: clock.New()}
+	if p.Workers > 0 && p.Tracer != nil {
+		return nil, fmt.Errorf("netsim: Tracer requires the serial engine (Workers = 0), got Workers = %d", p.Workers)
+	}
+	n.Engine.SetWorkers(p.Workers)
+
+	// Stage-major shard partitioning: each router column (the logical
+	// router at (stage, index) — every cascade lane — plus its output
+	// links) and each endpoint (plus its injection links) is one
+	// co-location group. Links could in fact live on any shard (their
+	// Eval is empty and their Commit touches only their own registers);
+	// grouping them with their driving component is a locality choice.
+	// The affinity allocation order is a pure function of the topology,
+	// keeping the partition deterministic.
+	affCol := make([][]clock.ShardAffinity, len(p.Spec.Stages))
+	for s := range affCol {
+		affCol[s] = make([]clock.ShardAffinity, top.RoutersPerStage[s])
+		for j := range affCol[s] {
+			affCol[s][j] = n.Engine.NewShardAffinity()
+		}
+	}
+	affEp := make([]clock.ShardAffinity, p.Spec.Endpoints)
+	for e := range affEp {
+		affEp[e] = n.Engine.NewShardAffinity()
+	}
 
 	// delayOf resolves the link pipeline depth for a tier (0 = injection,
 	// s+1 = outputs of stage s).
@@ -220,6 +303,7 @@ func Build(p Params) (*Network, error) {
 		})
 	}
 	n.Endpoints = make([]*nic.Endpoint, p.Spec.Endpoints)
+	n.events = make([][]event, p.Spec.Endpoints)
 	for e := 0; e < p.Spec.Endpoints; e++ {
 		e := e
 		cfg := nic.Config{
@@ -232,11 +316,11 @@ func Build(p Params) (*Network, error) {
 			RetryLimit:       p.RetryLimit,
 			ListenTimeout:    p.ListenTimeout,
 			CloseGap:         p.DataPipe + 2,
+			// Completions are buffered per endpoint and replayed by the
+			// collector in endpoint-index order, so parallel endpoint
+			// evaluation cannot perturb the observable result stream.
 			OnResult: func(r nic.Result) {
-				n.results = append(n.results, r)
-				if p.OnResult != nil {
-					p.OnResult(r)
-				}
+				n.events[e] = append(n.events[e], event{isResult: true, result: r})
 			},
 		}
 		if p.Responder != nil {
@@ -246,7 +330,9 @@ func Build(p Params) (*Network, error) {
 			cfg.ResponderDelay = func(payload []byte) int { return p.ResponderDelay(e, payload) }
 		}
 		if p.OnDeliver != nil {
-			cfg.OnDeliver = func(payload []byte, intact bool) { p.OnDeliver(e, payload, intact) }
+			cfg.OnDeliver = func(payload []byte, intact bool) {
+				n.events[e] = append(n.events[e], event{payload: payload, intact: intact})
+			}
 		}
 		ep, err := nic.New(cfg)
 		if err != nil {
@@ -278,7 +364,7 @@ func Build(p Params) (*Network, error) {
 				r := lanes[ref.Stage][ref.Index][lane]
 				r.AttachForward(ref.Port, l.B())
 				setTurnDelay(r, ref.Port, delayOf(0))
-				n.Engine.Add(l)
+				n.Engine.AddSharded(affEp[e], l)
 			}
 			n.injLinks[e][k] = n.injLanes[e][k][0]
 			n.Endpoints[e].AttachInject(channel(ends))
@@ -307,7 +393,7 @@ func Build(p Params) (*Network, error) {
 						down.AttachForward(ref.Port, l.B())
 						setTurnDelay(down, ref.Port, delayOf(s+1))
 					}
-					n.Engine.Add(l)
+					n.Engine.AddSharded(affCol[s][j], l)
 				}
 				n.outLinks[s][j][bp] = n.outLanes[s][j][bp][0]
 				if ref.Kind == topo.KindEndpoint {
@@ -320,21 +406,35 @@ func Build(p Params) (*Network, error) {
 	for s := range n.Routers {
 		for j := range n.Routers[s] {
 			if c == 1 {
-				n.Engine.Add(n.Routers[s][j])
+				n.Engine.AddSharded(affCol[s][j], n.Routers[s][j])
 			} else {
-				n.Engine.Add(n.Cascades[s][j])
+				// The group declares its own co-location contract: all
+				// lanes plus the shared random stream on one shard.
+				n.Cascades[s][j].AddTo(n.Engine, affCol[s][j])
 			}
 		}
 	}
-	for _, ep := range n.Endpoints {
-		n.Engine.Add(ep)
+	for e, ep := range n.Endpoints {
+		n.Engine.AddSharded(affEp[e], ep)
 	}
+	// The collector must be the first serialized component: after every
+	// sharded Eval (links, routers, endpoints), before any driver or
+	// injector registered post-Build.
+	n.Engine.Add(&collector{n: n})
 	return n, nil
 }
 
+// Close releases the engine's worker goroutines when the network runs in
+// parallel mode (Workers > 0); it is a no-op for the serial engine. The
+// network remains usable afterwards — the pool restarts lazily on the
+// next Step — so Close is safe to defer unconditionally. Sweeps that
+// build many networks should call it to avoid accumulating idle
+// goroutines.
+func (n *Network) Close() { n.Engine.StopWorkers() }
+
 // Send offers a message from src to dest and returns its ID.
 //
-//metrovet:mutator traffic injection between cycles; drivers call this before Step
+//metrovet:mutator traffic injection entry point; called between cycles or from drivers in the serialized epilogue
 func (n *Network) Send(src, dest int, payload []byte) uint64 {
 	n.nextID++
 	id := n.nextID

@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"metro/internal/core"
+	"metro/internal/nic"
+	"metro/internal/topo"
+)
+
+// runCongested drives a network far past saturation with a fixed
+// injection schedule and returns every completed-message report in
+// observation order, after auditing every router lane's invariants on
+// every cycle. The returned slice is the differential-test currency:
+// per-message latencies (Injected/Done), retry counts, delivery flags
+// and their exact order, all in one comparable value.
+func runCongested(t *testing.T, p Params, injectSeed int64, perCycle, cycles int) []nic.Result {
+	t.Helper()
+	n, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	rng := rand.New(rand.NewSource(injectSeed))
+	eps := p.Spec.Endpoints
+	for cycle := 0; cycle < cycles; cycle++ {
+		for k := 0; k < perCycle; k++ {
+			src := rng.Intn(eps)
+			dest := rng.Intn(eps)
+			if dest == src {
+				dest = (dest + 1) % eps
+			}
+			n.Send(src, dest, []byte{byte(cycle), byte(src), byte(dest)})
+		}
+		n.Engine.Step()
+		for s := range n.Routers {
+			for j := range n.Routers[s] {
+				if g := n.Cascades[s][j]; g != nil {
+					for k := 0; k < g.Width(); k++ {
+						if err := g.Member(k).CheckInvariants(); err != nil {
+							t.Fatalf("workers=%d cycle %d lane %d: %v", p.Workers, cycle, k, err)
+						}
+					}
+				} else if err := n.Routers[s][j].CheckInvariants(); err != nil {
+					t.Fatalf("workers=%d cycle %d: %v", p.Workers, cycle, err)
+				}
+			}
+		}
+	}
+	return n.Results()
+}
+
+// TestParallelDifferentialCongestedFigure3 is the tentpole's equivalence
+// gate: the congested Figure 3 multibutterfly run by the serial
+// reference engine and by the parallel engine at 2, 4 and 8 workers
+// must produce bit-for-bit identical completed-message streams — same
+// per-message latencies, same retry counts, same order — under the same
+// seeds.
+func TestParallelDifferentialCongestedFigure3(t *testing.T) {
+	cycles := 1500
+	if testing.Short() {
+		cycles = 600
+	}
+	params := func(workers int) Params {
+		return Params{
+			Spec: topo.Figure3(), Width: 8, DataPipe: 2, LinkDelay: 1,
+			FastReclaim: false, Seed: 71, RetryLimit: 600, ListenTimeout: 200,
+			Workers: workers,
+		}
+	}
+	want := runCongested(t, params(0), 17, 2, cycles)
+	if len(want) == 0 {
+		t.Fatal("congested run completed no messages; the differential compares nothing")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := runCongested(t, params(workers), 17, 2, cycles)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: %d results diverge from the serial engine's %d (first divergence: %s)",
+				workers, len(got), len(want), firstDivergence(got, want))
+		}
+	}
+}
+
+// TestParallelDifferentialCascade is the shard co-location gate
+// (cascade-width-2): every member router shares a random stream with
+// its group, so a mis-sharded cascade would either race (caught by
+// -race) or drift (caught here). Runs with 1, 2 and 8 workers must
+// match the serial engine bit for bit and never trip CheckInvariants.
+func TestParallelDifferentialCascade(t *testing.T) {
+	cycles := 1200
+	if testing.Short() {
+		cycles = 500
+	}
+	params := func(workers int) Params {
+		return Params{
+			Spec: topo.Figure1(), Width: 4, CascadeWidth: 2, DataPipe: 2,
+			LinkDelay: 1, FastReclaim: false, Seed: 29, RetryLimit: 400,
+			ListenTimeout: 150, Workers: workers,
+		}
+	}
+	want := runCongested(t, params(0), 23, 1, cycles)
+	if len(want) == 0 {
+		t.Fatal("cascade run completed no messages; the differential compares nothing")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := runCongested(t, params(workers), 23, 1, cycles)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: %d results diverge from the serial engine's %d (first divergence: %s)",
+				workers, len(got), len(want), firstDivergence(got, want))
+		}
+	}
+}
+
+// firstDivergence renders the first position where two result streams
+// disagree, for readable failure messages.
+func firstDivergence(got, want []nic.Result) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return fmt.Sprintf("index %d: got {id %d done %d retries %d}, want {id %d done %d retries %d}",
+				i, got[i].Msg.ID, got[i].Done, got[i].Retries,
+				want[i].Msg.ID, want[i].Done, want[i].Retries)
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d, want %d", len(got), len(want))
+}
+
+// TestTracerRequiresSerialEngine pins the Build-time guard: router
+// tracing has no deterministic order under parallel evaluation, so the
+// combination is rejected up front.
+func TestTracerRequiresSerialEngine(t *testing.T) {
+	_, err := Build(Params{Spec: topo.Figure1(), Workers: 2, Tracer: core.NopTracer{}})
+	if err == nil {
+		t.Fatal("Build should reject Tracer with Workers > 0")
+	}
+	if _, err := Build(Params{Spec: topo.Figure1(), Workers: 0, Tracer: core.NopTracer{}}); err != nil {
+		t.Fatalf("Tracer with the serial engine should build: %v", err)
+	}
+}

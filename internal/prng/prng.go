@@ -74,8 +74,14 @@ var _ Source = (*LFSR)(nil)
 // common stream: consumers that draw bits in the same pattern observe the
 // same bits, which is exactly the property cascading relies on.
 //
-// Shared is not safe for concurrent use; the simulation engine is
-// single-threaded by design.
+// Shared is not safe for concurrent use: every consumer of one Shared
+// stream must evaluate on the same goroutine. Under the parallel clock
+// engine this is a co-location requirement — all components drawing
+// from one Shared stream must be registered under a single
+// clock.ShardAffinity. cascade.Group satisfies it by construction (the
+// group is one component, so its members and their forks always
+// evaluate together); any other fan-out must declare co-location the
+// same way.
 type Shared struct {
 	gen     *LFSR
 	buf     []uint8 // one bit per element

@@ -90,6 +90,8 @@ func (b *Boundary) Driving() bool { return b.drive }
 
 // Eval implements clock.Component: while EXTEST is active, drive the
 // output cells onto every disabled backward port's link.
+//
+//metrovet:shared reads only its own router's settings and drives its links; a Boundary must be co-located with its router
 func (b *Boundary) Eval(cycle uint64) {
 	if !b.drive {
 		return

@@ -63,6 +63,8 @@ func (o *OpenLoop) OnResult(r nic.Result) {
 }
 
 // Eval implements clock.Component.
+//
+//metrovet:shared driver registers via Engine.Add, so it runs in the serialized epilogue after every endpoint has evaluated
 func (o *OpenLoop) Eval(cycle uint64) {
 	n := len(o.net.Endpoints)
 	for e := 0; e < n; e++ {
@@ -147,6 +149,7 @@ func RunOpenLoop(spec RunSpec) (stats.LoadPoint, error) {
 	if err != nil {
 		return stats.LoadPoint{}, err
 	}
+	defer n.Close() // release parallel-engine workers between sweep points
 	driver.Bind(n)
 	n.Run(spec.WarmupCycles + spec.MeasureCycles)
 	return driver.Point(), nil

@@ -1,0 +1,110 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"metro/internal/netsim"
+	"metro/internal/topo"
+)
+
+// TestClosedLoopParallelDifferential runs the Figure 3 closed-loop
+// workload — the paper's measurement configuration, and the hardest
+// equivalence case, because the driver's OnResult hook both mutates
+// per-endpoint state and draws think times from its PRNG, so any
+// perturbation of completion order changes the entire remaining random
+// stream. Serial and parallel runs must agree on every measured result
+// and on the summarized load point, bit for bit.
+func TestClosedLoopParallelDifferential(t *testing.T) {
+	cycles := uint64(2000)
+	if testing.Short() {
+		cycles = 800
+	}
+	run := func(workers int) (*ClosedLoop, error) {
+		driver := &ClosedLoop{
+			Load: 0.85, MsgBytes: 20, Outstanding: 2, Seed: 5, Warmup: 200,
+		}
+		p := netsim.Params{
+			Spec: topo.Figure3(), Width: 8, HeaderWords: 2, DataPipe: 2,
+			LinkDelay: 1, FastReclaim: true, Seed: 7, RetryLimit: 1000,
+			Workers:  workers,
+			OnResult: driver.OnResult,
+		}
+		n, err := netsim.Build(p)
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		driver.Bind(n)
+		n.Run(cycles)
+		return driver, nil
+	}
+	want, err := run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Measured()) == 0 {
+		t.Fatal("closed-loop run measured no completions; the differential compares nothing")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := run(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Injected() != want.Injected() {
+			t.Errorf("workers=%d: injected %d, want %d", workers, got.Injected(), want.Injected())
+		}
+		if !reflect.DeepEqual(got.Measured(), want.Measured()) {
+			t.Errorf("workers=%d: measured results diverge from the serial engine (%d vs %d messages)",
+				workers, len(got.Measured()), len(want.Measured()))
+		}
+		if !reflect.DeepEqual(got.Point(), want.Point()) {
+			t.Errorf("workers=%d: load point diverges:\n got %+v\nwant %+v", workers, got.Point(), want.Point())
+		}
+	}
+}
+
+// TestOpenLoopParallelDifferential covers the Bernoulli-injection driver
+// the same way: its Eval draws from a PRNG whose consumption must not
+// depend on worker scheduling.
+func TestOpenLoopParallelDifferential(t *testing.T) {
+	cycles := uint64(1200)
+	if testing.Short() {
+		cycles = 500
+	}
+	run := func(workers int) (*OpenLoop, error) {
+		driver := &OpenLoop{Load: 0.6, MsgBytes: 12, Seed: 11, Warmup: 100}
+		p := netsim.Params{
+			Spec: topo.Figure3(), Width: 8, DataPipe: 2, LinkDelay: 1,
+			FastReclaim: true, Seed: 13, RetryLimit: 500,
+			Workers:  workers,
+			OnResult: driver.OnResult,
+		}
+		n, err := netsim.Build(p)
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		driver.Bind(n)
+		n.Run(cycles)
+		return driver, nil
+	}
+	want, err := run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Measured()) == 0 {
+		t.Fatal("open-loop run measured no completions; the differential compares nothing")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := run(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Injected() != want.Injected() ||
+			!reflect.DeepEqual(got.Measured(), want.Measured()) ||
+			!reflect.DeepEqual(got.Point(), want.Point()) {
+			t.Errorf("workers=%d: open-loop run diverges from the serial engine", workers)
+		}
+	}
+}

@@ -48,6 +48,7 @@ func Run(spec RunSpec) (stats.LoadPoint, error) {
 	if err != nil {
 		return stats.LoadPoint{}, err
 	}
+	defer n.Close() // release parallel-engine workers between sweep points
 	driver.Bind(n)
 	n.Run(spec.WarmupCycles + spec.MeasureCycles)
 	return driver.Point(), nil

@@ -192,6 +192,8 @@ func (c *ClosedLoop) sampleThink() int {
 
 // Eval implements clock.Component: issue new messages when endpoints are
 // free and their think time has elapsed.
+//
+//metrovet:shared driver registers via Engine.Add, so it runs in the serialized epilogue after every endpoint has evaluated
 func (c *ClosedLoop) Eval(cycle uint64) {
 	n := len(c.state)
 	for e := 0; e < n; e++ {
