@@ -1,0 +1,15 @@
+package main_test
+
+import (
+	"testing"
+
+	"metro/internal/clitest"
+)
+
+// TestGoldenDegradation pins a short router-kill degradation sweep:
+// the graceful-degradation table is the experiment backing the paper's
+// fault-tolerance claim, so its numbers must stay reproducible.
+func TestGoldenDegradation(t *testing.T) {
+	clitest.Golden(t, "degradation", "metrofault",
+		"-counts", "0,1", "-measure", "1500", "-window", "500", "-warmup", "300")
+}

@@ -1,0 +1,18 @@
+package main_test
+
+import (
+	"testing"
+
+	"metro/internal/clitest"
+)
+
+// TestGoldenTables pins the three paper-reproduction tables: any drift
+// in the analytic latency model or the table formatting shows up as a
+// golden diff against the published numbers.
+func TestGoldenTables(t *testing.T) {
+	for _, table := range []string{"3", "4", "5"} {
+		t.Run("table"+table, func(t *testing.T) {
+			clitest.Golden(t, "table"+table, "metrolat", "-table", table)
+		})
+	}
+}

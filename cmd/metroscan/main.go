@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"metro"
 	"metro/internal/netsim"
@@ -83,9 +84,14 @@ func main() {
 	// crossing is corrupted.
 	fmt.Println("phase 1: detect via end-to-end and per-stage checksums")
 	suspects := runTraffic(n)
+	stages := make([]int, 0, len(suspects))
+	for s := range suspects {
+		stages = append(stages, s)
+	}
+	sort.Ints(stages) // deterministic listing; the golden test pins this output
 	suspectStage := -1
-	for s, count := range suspects {
-		if count > 0 {
+	for _, s := range stages {
+		if count := suspects[s]; count > 0 {
 			fmt.Printf("  %d corrupted attempts localized to stage %d inputs\n", count, s)
 			if suspectStage < 0 || suspects[s] > suspects[suspectStage] {
 				suspectStage = s

@@ -1,0 +1,15 @@
+package main_test
+
+import (
+	"testing"
+
+	"metro/internal/clitest"
+)
+
+// TestGoldenLocalization pins the default scan-based fault-localization
+// narrative end to end: inject, localize to a stage, isolate the faulty
+// port pairs, mask, and verify. The suspect listing is sorted before
+// printing, so the whole transcript is deterministic.
+func TestGoldenLocalization(t *testing.T) {
+	clitest.Golden(t, "localize", "metroscan")
+}

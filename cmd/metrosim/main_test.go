@@ -1,0 +1,16 @@
+package main_test
+
+import (
+	"testing"
+
+	"metro/internal/clitest"
+)
+
+// TestGoldenSweep pins a small fixed-seed load sweep on the Figure 1
+// network: the load/latency table is the tool's primary output, and the
+// simulator's determinism contract means every cell is reproducible
+// bit-for-bit.
+func TestGoldenSweep(t *testing.T) {
+	clitest.Golden(t, "sweep", "metrosim",
+		"-network", "fig1", "-loads", "0.1,0.4", "-cycles", "800", "-warmup", "200")
+}

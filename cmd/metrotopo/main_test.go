@@ -1,0 +1,22 @@
+package main_test
+
+import (
+	"testing"
+
+	"metro/internal/clitest"
+)
+
+// TestGolden pins the topology explorer's three views of the Figure 1
+// network: the stage table, path enumeration between an endpoint pair,
+// and the fault-survivability sweep.
+func TestGolden(t *testing.T) {
+	t.Run("describe", func(t *testing.T) {
+		clitest.Golden(t, "describe", "metrotopo")
+	})
+	t.Run("paths", func(t *testing.T) {
+		clitest.Golden(t, "paths", "metrotopo", "-paths", "6,15")
+	})
+	t.Run("survive", func(t *testing.T) {
+		clitest.Golden(t, "survive", "metrotopo", "-survive")
+	})
+}

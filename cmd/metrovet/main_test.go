@@ -1,0 +1,27 @@
+package main_test
+
+import (
+	"testing"
+
+	"metro/internal/clitest"
+)
+
+// TestGoldenRules pins the -rules listing: the rule names are the
+// annotation vocabulary (//metrovet:alloc etc.) the rest of the tree
+// depends on, so renames must be deliberate.
+func TestGoldenRules(t *testing.T) {
+	clitest.Golden(t, "rules", "metrovet", "-rules")
+}
+
+// TestCleanPackagePasses runs the analyzers on a real package that must
+// stay finding-free: a zero-exit, zero-output run is the contract CI's
+// whole-tree invocation depends on.
+func TestCleanPackagePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	out := clitest.Run(t, "metrovet", "./internal/word")
+	if len(out) != 0 {
+		t.Fatalf("metrovet reported findings on a clean package:\n%s", out)
+	}
+}

@@ -34,6 +34,9 @@ func TestZeroAllocLinkSteadyCycle(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are inflated under the race detector")
 	}
+	if testing.Short() {
+		t.Skip("benchmark-backed allocation gate; CI runs it in the dedicated -run ZeroAlloc step")
+	}
 	res := testing.Benchmark(BenchmarkLinkSteadyCycle)
 	if a := res.AllocsPerOp(); a != 0 {
 		t.Fatalf("link steady cycle: %d allocs/op, want 0", a)

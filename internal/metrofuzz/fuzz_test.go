@@ -1,0 +1,64 @@
+package metrofuzz
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenario is the native-fuzzing entry to the conformance harness:
+// every input seed becomes a whole generated scenario executed under
+// the full oracle battery. `go test -fuzz=FuzzScenario` walks the
+// scenario space continuously; the seed corpus under
+// testdata/fuzz/FuzzScenario keeps a spread of cheap, shape-diverse
+// scenarios (presets and custom topologies, all three traffic models,
+// fault plans, cascades, parallel workers) running on every plain
+// `go test` invocation.
+func FuzzScenario(f *testing.F) {
+	// A shape-diverse, cheap spread (see the -v ensemble listing):
+	// preset + custom topologies, burst/bernoulli/stall, fault plans,
+	// cascade width 2, serial and parallel engines.
+	for _, seed := range []int64{1, 2, 5, 8, 9} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if seed < 0 {
+			seed = -seed
+		}
+		rep := Run(Generate(seed), Hooks{})
+		if rep.Failed() {
+			for _, fa := range rep.Failures {
+				t.Errorf("seed %d: %s", seed, fa)
+			}
+			t.Fatalf("reproduce with: %s", rep.Repro())
+		}
+	})
+}
+
+// FuzzSpecCodec hardens the replay path: arbitrary spec lines must
+// never panic the decoder, and anything it accepts must re-encode to a
+// semantically identical scenario (decode∘encode = identity on the
+// accepted set) — otherwise a shrunk repro could silently replay a
+// different scenario than the one that failed.
+func FuzzSpecCodec(f *testing.F) {
+	f.Add(EncodeSpec(Generate(0)))
+	f.Add(EncodeSpec(Generate(3)))
+	f.Add(EncodeSpec(tinyScenario()))
+	f.Add(pinnedBugRepro)
+	f.Add("mf1;topo=16x2:2.2.4,2.2.4,4.1.4@99;w=8")
+	f.Add("mf1;faults=rk@1:0.0|sb@2:0.1.0.3")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := DecodeSpec(line)
+		if err != nil {
+			return // rejected inputs just need to be rejected cleanly
+		}
+		again, err := DecodeSpec(EncodeSpec(s))
+		if err != nil {
+			t.Fatalf("re-decode of accepted spec failed: %v\n  original: %q\n  encoded:  %q",
+				err, line, EncodeSpec(s))
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("codec not idempotent for %q:\n  first:  %+v\n  second: %+v", line, s, again)
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package metrofuzz
+
+// raceEnabled reports that the race detector is not active, so the
+// ensemble tests run at full size.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package metrofuzz
+
+// raceEnabled reports that the race detector is active. Ensemble tests
+// shrink their seed ranges under -race: instrumentation slows each
+// scenario by an order of magnitude, and the differential scenarios the
+// race job needs are covered explicitly by TestParallelDifferentialWorkers.
+const raceEnabled = true

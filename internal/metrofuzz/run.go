@@ -1,0 +1,636 @@
+package metrofuzz
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"metro/internal/fault"
+	"metro/internal/netsim"
+	"metro/internal/nic"
+	"metro/internal/topo"
+)
+
+// OracleNames lists the oracle battery in the order Run applies it.
+var OracleNames = []string{
+	"conservation", "delivery", "payload", "progress", "invariants", "differential",
+}
+
+// Hooks are the harness's self-test seams: each one injects a
+// simulator-bug-shaped defect without touching simulator source, so
+// tests can prove every oracle actually fires (and the shrinker
+// actually shrinks). All hooks apply identically to the serial and
+// parallel legs — they model bugs in the system under test, which both
+// legs share.
+type Hooks struct {
+	// Mutate runs after each leg's network is built and before it runs
+	// (e.g. install a link corruptor to fake a routing-layer bug).
+	Mutate func(*netsim.Network)
+	// TamperDeliver rewrites destination-side deliveries before the
+	// harness records them (a delivery-path bug).
+	TamperDeliver func(dest int, payload []byte, intact bool) ([]byte, bool)
+	// DropResult suppresses completion records (a lost-completion bug).
+	DropResult func(nic.Result) bool
+}
+
+// Failure is one oracle violation.
+type Failure struct {
+	Oracle string
+	Detail string
+}
+
+func (f Failure) String() string { return f.Oracle + ": " + f.Detail }
+
+// Report is the outcome of running one scenario under the full oracle
+// battery.
+type Report struct {
+	Scenario    Scenario
+	Spec        string // EncodeSpec(Scenario), the replay currency
+	Cycles      uint64 // cycles the serial reference leg executed
+	Offered     int
+	Delivered   int
+	Duplicates  int // intact deliveries beyond the first, per message
+	FaultsFired int
+	Failures    []Failure
+}
+
+// Failed reports whether any oracle fired.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// Repro returns the one-line reproduction command.
+func (r *Report) Repro() string { return "metrofuzz -replay '" + r.Spec + "'" }
+
+func (r *Report) fail(oracle, format string, args ...any) {
+	r.Failures = append(r.Failures, Failure{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Run executes a scenario under the oracle battery: the serial
+// reference engine first (with per-cycle invariant checks and the
+// behavioural oracles), then — when the scenario requests workers — a
+// parallel leg whose result and delivery streams must match the serial
+// leg bit for bit.
+func Run(s Scenario, h Hooks) *Report {
+	r := &Report{Scenario: s, Spec: EncodeSpec(s)}
+	if err := s.Validate(); err != nil {
+		r.fail("spec", "%v", err)
+		return r
+	}
+	serial, err := runLeg(s, h, 0, true, 0)
+	if err != nil {
+		r.fail("build", "%v", err)
+		return r
+	}
+	r.Cycles = serial.cycles
+	r.Offered = len(serial.offers)
+	r.FaultsFired = len(serial.fired)
+	if serial.invariantErr != "" {
+		r.fail("invariants", "%s", serial.invariantErr)
+	}
+	if serial.progressErr != "" {
+		r.fail("progress", "%s", serial.progressErr)
+	}
+	r.checkConservation(serial)
+	r.checkDelivery(s, serial)
+	r.checkPayload(s, h, serial)
+
+	if s.Workers > 0 {
+		par, err := runLeg(s, h, s.Workers, false, serial.cycles)
+		if err != nil {
+			r.fail("build", "parallel leg: %v", err)
+			return r
+		}
+		r.checkDifferential(serial, par)
+	}
+	return r
+}
+
+// --- leg execution -----------------------------------------------------
+
+// delivery is one destination-side delivery as the harness observed it.
+type delivery struct {
+	Dest    int
+	Payload []byte
+	Intact  bool
+}
+
+// offer is one message the injector handed to an endpoint.
+type offer struct {
+	ID        uint32
+	Src, Dest int
+	Payload   []byte
+	At        uint64
+}
+
+// legOut is everything one engine leg produced.
+type legOut struct {
+	offers       []offer
+	results      []nic.Result
+	deliveries   []delivery
+	fired        []fault.Event
+	cycles       uint64
+	quiet        bool
+	progressErr  string
+	invariantErr string
+}
+
+// runLeg builds and runs one network. workers selects the engine mode;
+// checkInv enables the per-cycle invariant oracle (serial leg only —
+// the parallel leg is compared against the serial one instead). When
+// fixedCycles > 0 the leg runs exactly that many cycles (the
+// differential leg mirrors the serial leg's span); otherwise it runs to
+// quiescence under a progress watchdog.
+func runLeg(s Scenario, h Hooks, workers int, checkInv bool, fixedCycles uint64) (*legOut, error) {
+	spec, err := s.Spec()
+	if err != nil {
+		return nil, err
+	}
+	leg := &legOut{}
+	inj := &injector{s: s, leg: leg, rng: rand.New(rand.NewSource(s.TrafficSeed))}
+	p := netsim.Params{
+		Spec:               spec,
+		Width:              s.Width,
+		HeaderWords:        s.HeaderWords,
+		DataPipe:           s.DataPipe,
+		LinkDelay:          s.LinkDelay,
+		CascadeWidth:       s.CascadeWidth,
+		FastReclaim:        s.FastReclaim,
+		FirstFreeSelection: s.FirstFree,
+		Seed:               s.NetSeed,
+		MaxActiveSenders:   s.MaxActiveSenders,
+		RetryLimit:         s.RetryLimit,
+		ListenTimeout:      uint64(s.ListenTimeout),
+		Workers:            workers,
+		OnResult: func(res nic.Result) {
+			inj.onResult(res)
+			if h.DropResult != nil && h.DropResult(res) {
+				return
+			}
+			leg.results = append(leg.results, res)
+		},
+		OnDeliver: func(dest int, payload []byte, intact bool) {
+			buf := append([]byte(nil), payload...)
+			if h.TamperDeliver != nil {
+				buf, intact = h.TamperDeliver(dest, buf, intact)
+			}
+			leg.deliveries = append(leg.deliveries, delivery{Dest: dest, Payload: buf, Intact: intact})
+		},
+	}
+	n, err := netsim.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	if h.Mutate != nil {
+		h.Mutate(n)
+	}
+	inj.bind(n)
+	finj := fault.NewInjector(n, s.Faults)
+
+	if fixedCycles > 0 {
+		n.Run(fixedCycles)
+		leg.cycles = n.Engine.Cycle()
+		leg.fired = finj.Fired()
+		return leg, nil
+	}
+
+	// Progress budget: an endpoint retires its current message within
+	// RetryLimit+1 attempts, each bounded by the message span plus the
+	// reply watchdog plus the teardown gap. If the network is done
+	// injecting and no offer/result/delivery/fault lands for a full
+	// worst-case message lifetime, something is livelocked (or a quiet
+	// condition is unreachable — a deadlock); both are oracle failures.
+	attempt := uint64(n.MessageWords(s.PayloadBytes) + s.ListenTimeout + s.DataPipe + 2 + 30)
+	watchdog := uint64(s.RetryLimit+1) * attempt
+	hardCap := uint64(s.InjectCycles) + uint64(s.Messages+10)*watchdog
+	if hardCap > 5_000_000 {
+		hardCap = 5_000_000
+	}
+	lastEvent := uint64(0)
+	lastCount := 0
+	for {
+		cycle := n.Engine.Cycle()
+		if inj.done(cycle) && quiet(n) {
+			leg.quiet = true
+			break
+		}
+		if cycle >= hardCap {
+			leg.progressErr = fmt.Sprintf("network not quiet after hard cap of %d cycles", hardCap)
+			break
+		}
+		if inj.done(cycle) && cycle-lastEvent > watchdog {
+			leg.progressErr = fmt.Sprintf(
+				"no progress for %d cycles after injection ended (cycle %d, %d results of %d offers)",
+				watchdog, cycle, len(leg.results), len(leg.offers))
+			break
+		}
+		n.Engine.Step()
+		if c := len(leg.offers) + len(leg.results) + len(leg.deliveries) + len(finj.Fired()); c != lastCount {
+			lastCount = c
+			lastEvent = n.Engine.Cycle()
+		}
+		if checkInv {
+			if msg := checkAllInvariants(n); msg != "" && leg.invariantErr == "" {
+				leg.invariantErr = fmt.Sprintf("cycle %d: %s", n.Engine.Cycle(), msg)
+				break
+			}
+		}
+	}
+	leg.cycles = n.Engine.Cycle()
+	leg.fired = finj.Fired()
+	return leg, nil
+}
+
+func quiet(n *netsim.Network) bool {
+	for _, ep := range n.Endpoints {
+		if ep.QueueLen() > 0 || ep.Busy() || ep.Receiving() {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAllInvariants audits every router lane, returning the first
+// violation.
+func checkAllInvariants(n *netsim.Network) string {
+	for s := range n.Routers {
+		for j := range n.Routers[s] {
+			if g := n.Cascades[s][j]; g != nil {
+				for k := 0; k < g.Width(); k++ {
+					if err := g.Member(k).CheckInvariants(); err != nil {
+						return fmt.Sprintf("lane %d: %v", k, err)
+					}
+				}
+			} else if err := n.Routers[s][j].CheckInvariants(); err != nil {
+				return err.Error()
+			}
+		}
+	}
+	return ""
+}
+
+// --- the injector ------------------------------------------------------
+
+// injector is the harness's own traffic driver. It registers with the
+// engine after netsim's collector, so in both engine modes it runs in
+// the serialized epilogue with completions already replayed in
+// deterministic order — its random stream is consumed identically in
+// the serial and parallel legs.
+type injector struct {
+	s   Scenario
+	net *netsim.Network
+	rng *rand.Rand
+	leg *legOut
+
+	remaining   int
+	nextID      uint32
+	burstDone   bool
+	outstanding []int
+	think       []int
+}
+
+func (i *injector) bind(n *netsim.Network) {
+	i.net = n
+	i.remaining = i.s.Messages
+	i.outstanding = make([]int, len(n.Endpoints))
+	i.think = make([]int, len(n.Endpoints))
+	n.Engine.Add(i)
+}
+
+// done reports whether the schedule will offer no further messages.
+func (i *injector) done(cycle uint64) bool {
+	if i.remaining == 0 {
+		return true
+	}
+	if i.s.Traffic == Burst {
+		return i.burstDone
+	}
+	return cycle >= uint64(i.s.InjectCycles)
+}
+
+// Eval implements clock.Component: advance the traffic schedule.
+//
+//metrovet:shared driver registers via Engine.Add, so it runs in the serialized epilogue after every endpoint has evaluated
+func (i *injector) Eval(cycle uint64) {
+	if i.remaining == 0 {
+		return
+	}
+	switch i.s.Traffic {
+	case Burst:
+		if i.burstDone {
+			return
+		}
+		i.burstDone = true
+		for i.remaining > 0 {
+			i.offerFrom(i.rng.Intn(len(i.outstanding)), cycle)
+		}
+	case Bernoulli:
+		if cycle >= uint64(i.s.InjectCycles) {
+			return
+		}
+		for e := range i.outstanding {
+			if i.remaining > 0 && i.rng.Intn(1000) < i.s.RatePerMille {
+				i.offerFrom(e, cycle)
+			}
+		}
+	case Stall:
+		if cycle >= uint64(i.s.InjectCycles) {
+			return
+		}
+		for e := range i.outstanding {
+			if i.think[e] > 0 {
+				i.think[e]--
+				continue
+			}
+			for i.outstanding[e] < i.s.Outstanding && i.remaining > 0 {
+				i.offerFrom(e, cycle)
+				i.outstanding[e]++
+			}
+		}
+	}
+}
+
+// Commit implements clock.Component.
+func (i *injector) Commit(cycle uint64) {}
+
+// onResult feeds completions back into the closed-loop schedule. It is
+// called from the collector's deterministic replay, before the
+// injector's own Eval in the same epilogue.
+func (i *injector) onResult(r nic.Result) {
+	if i.s.Traffic != Stall {
+		return
+	}
+	src := r.Msg.Src
+	if i.outstanding[src] > 0 {
+		i.outstanding[src]--
+	}
+	if i.s.ThinkMax > 0 {
+		i.think[src] = i.rng.Intn(i.s.ThinkMax + 1)
+	}
+}
+
+// offerFrom creates, tags and offers one message from src.
+//
+//metrovet:shared see Eval
+func (i *injector) offerFrom(src int, cycle uint64) {
+	n := len(i.outstanding)
+	dest := i.rng.Intn(n - 1)
+	if dest >= src {
+		dest++
+	}
+	i.nextID++
+	//metrovet:alloc per-injected-message tagged payload; ownership transfers to the endpoint queue
+	payload := EncodePayload(i.nextID, src, dest, i.s.PayloadBytes)
+	i.net.Send(src, dest, payload)
+	//metrovet:alloc harness ledger entry, bounded by the message budget
+	i.leg.offers = append(i.leg.offers, offer{
+		ID: i.nextID, Src: src, Dest: dest, Payload: payload, At: cycle,
+	})
+	i.remaining--
+}
+
+// --- oracles -----------------------------------------------------------
+
+// checkConservation: every offered message yields exactly one completion
+// Result carrying the offered identity — no losses, no duplicates, no
+// fabrications.
+func (r *Report) checkConservation(leg *legOut) {
+	byID := make(map[uint32]offer, len(leg.offers))
+	for _, o := range leg.offers {
+		byID[o.ID] = o
+	}
+	seen := make(map[uint32]int)
+	for i, res := range leg.results {
+		id, src, dest, ok := DecodePayload(res.Msg.Payload)
+		if !ok {
+			r.fail("conservation", "result %d carries an unparseable payload (msg %d)", i, res.Msg.ID)
+			continue
+		}
+		o, known := byID[id]
+		if !known {
+			r.fail("conservation", "result %d reports message %d that was never offered", i, id)
+			continue
+		}
+		if res.Msg.Src != o.Src || res.Msg.Dest != o.Dest || src != o.Src || dest != o.Dest {
+			r.fail("conservation", "result for message %d has src/dest %d->%d, offered %d->%d",
+				id, res.Msg.Src, res.Msg.Dest, o.Src, o.Dest)
+		}
+		seen[id]++
+	}
+	for _, o := range leg.offers {
+		switch c := seen[o.ID]; {
+		case c == 0:
+			r.fail("conservation", "message %d (%d->%d, offered cycle %d) never completed",
+				o.ID, o.Src, o.Dest, o.At)
+		case c > 1:
+			r.fail("conservation", "message %d completed %d times", o.ID, c)
+		}
+	}
+}
+
+// checkDelivery: a Delivered result implies at least one intact arrival;
+// arrivals never exceed attempts; a message whose destination stays
+// reachable under the fired fault set must be delivered; and in a
+// fault-free scenario every message arrives exactly once (duplicates
+// come only from fault-corrupted acknowledgments).
+func (r *Report) checkDelivery(s Scenario, leg *legOut) {
+	intact := make(map[uint32]int)
+	for _, d := range leg.deliveries {
+		if !d.Intact {
+			continue
+		}
+		if id, _, _, ok := DecodePayload(d.Payload); ok {
+			intact[id]++
+		}
+	}
+	view := newFaultView(leg, s)
+	faulty := len(s.Faults) > 0
+	// Structural reachability promises delivery only under stochastic
+	// path selection: the paper's fault-avoidance argument (Section 4)
+	// is that retries resample paths at random, so any surviving path is
+	// eventually found. The first-free ablation deliberately removes
+	// that resampling — a faulted network may starve a reachable pair
+	// forever — so completeness is not checked for that combination.
+	demandComplete := !(s.FirstFree && faulty)
+	for _, res := range leg.results {
+		id, _, _, ok := DecodePayload(res.Msg.Payload)
+		if !ok {
+			continue // conservation already flagged it
+		}
+		k := intact[id]
+		if res.Delivered {
+			r.Delivered++
+			if k == 0 {
+				r.fail("delivery", "message %d acknowledged as delivered but never arrived intact", id)
+			}
+			if k > 1 {
+				r.Duplicates += k - 1
+			}
+		}
+		if k > res.Retries+1 {
+			r.fail("delivery", "message %d arrived intact %d times in %d attempts",
+				id, k, res.Retries+1)
+		}
+		if demandComplete && !res.Delivered && view.reachable(res.Msg.Src, res.Msg.Dest) {
+			r.fail("delivery",
+				"message %d (%d->%d) undelivered after %d retries though its destination is reachable",
+				id, res.Msg.Src, res.Msg.Dest, res.Retries)
+		}
+		if !faulty {
+			if !res.Delivered {
+				r.fail("delivery", "fault-free run failed to deliver message %d (%d->%d)",
+					id, res.Msg.Src, res.Msg.Dest)
+			}
+			if k > 1 {
+				r.fail("delivery", "fault-free run delivered message %d %d times", id, k)
+			}
+		}
+	}
+}
+
+// checkPayload: every intact delivery decodes to an offered message,
+// arrived at its own destination, byte-for-byte equal to what the source
+// offered; fault-free runs see no corrupt deliveries at all. This is the
+// end-to-end data-integrity oracle, independent of the network's CRC.
+func (r *Report) checkPayload(s Scenario, h Hooks, leg *legOut) {
+	byID := make(map[uint32]offer, len(leg.offers))
+	for _, o := range leg.offers {
+		byID[o.ID] = o
+	}
+	faulty := len(s.Faults) > 0
+	for i, d := range leg.deliveries {
+		if !d.Intact {
+			if !faulty && h.Mutate == nil && h.TamperDeliver == nil {
+				r.fail("payload", "delivery %d at endpoint %d corrupt in a fault-free run", i, d.Dest)
+			}
+			continue
+		}
+		id, src, dest, ok := DecodePayload(d.Payload)
+		if !ok {
+			r.fail("payload", "intact delivery %d at endpoint %d does not decode", i, d.Dest)
+			continue
+		}
+		o, known := byID[id]
+		if !known {
+			r.fail("payload", "intact delivery %d carries unknown message %d", i, id)
+			continue
+		}
+		if dest != d.Dest || o.Dest != d.Dest || o.Src != src {
+			r.fail("payload", "message %d (%d->%d) delivered to endpoint %d", id, o.Src, o.Dest, d.Dest)
+			continue
+		}
+		if len(d.Payload) < len(o.Payload) || !bytes.Equal(d.Payload[:len(o.Payload)], o.Payload) {
+			r.fail("payload", "message %d delivered with altered bytes", id)
+		}
+	}
+}
+
+// checkDifferential: the parallel engine must reproduce the serial
+// reference bit for bit — same completions, same deliveries, same order.
+func (r *Report) checkDifferential(serial, par *legOut) {
+	if len(serial.results) != len(par.results) {
+		r.fail("differential", "serial leg completed %d messages, parallel leg %d",
+			len(serial.results), len(par.results))
+	}
+	for i := range serial.results {
+		if i >= len(par.results) {
+			break
+		}
+		if !reflect.DeepEqual(serial.results[i], par.results[i]) {
+			r.fail("differential", "result %d diverges: serial %+v, parallel %+v",
+				i, serial.results[i], par.results[i])
+			break
+		}
+	}
+	if len(serial.deliveries) != len(par.deliveries) {
+		r.fail("differential", "serial leg observed %d deliveries, parallel leg %d",
+			len(serial.deliveries), len(par.deliveries))
+	}
+	for i := range serial.deliveries {
+		if i >= len(par.deliveries) {
+			break
+		}
+		a, b := serial.deliveries[i], par.deliveries[i]
+		if a.Dest != b.Dest || a.Intact != b.Intact || !bytes.Equal(a.Payload, b.Payload) {
+			r.fail("differential", "delivery %d diverges: serial ep%d intact=%v, parallel ep%d intact=%v",
+				i, a.Dest, a.Intact, b.Dest, b.Intact)
+			break
+		}
+	}
+}
+
+// --- structural reachability under faults ------------------------------
+
+// faultView answers "could this source still reach this destination?"
+// against the fault events that actually fired, walking the elaborated
+// topology while honouring dead routers, severed links (including
+// injection and delivery links) and disabled ports. Stuck-bit links are
+// treated as dead too: they may still deliver, so excusing them only
+// relaxes the oracle.
+type faultView struct {
+	t          *topo.Topology
+	deadRouter map[[2]int]bool
+	deadOut    map[[3]int]bool
+	deadInject map[[2]int]bool
+}
+
+func newFaultView(leg *legOut, s Scenario) *faultView {
+	spec, _ := s.Spec()
+	t, err := topo.Build(spec)
+	if err != nil {
+		panic(err) // the scenario validated before the run
+	}
+	v := &faultView{
+		t:          t,
+		deadRouter: map[[2]int]bool{},
+		deadOut:    map[[3]int]bool{},
+		deadInject: map[[2]int]bool{},
+	}
+	for _, e := range leg.fired {
+		switch e.Kind {
+		case fault.RouterKill:
+			v.deadRouter[[2]int{e.Stage, e.Index}] = true
+		case fault.LinkKill, fault.LinkStuckBit, fault.PortDisable:
+			if e.Stage < 0 {
+				v.deadInject[[2]int{e.Index, e.Port}] = true
+			} else {
+				v.deadOut[[3]int{e.Stage, e.Index, e.Port}] = true
+			}
+		}
+	}
+	return v
+}
+
+func (v *faultView) reachable(src, dest int) bool {
+	digits := v.t.RouteDigits(dest)
+	for k, inj := range v.t.Inject[src] {
+		if v.deadInject[[2]int{src, k}] {
+			continue
+		}
+		if v.walk(inj, digits, dest) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *faultView) walk(at topo.PortRef, digits []int, dest int) bool {
+	if at.Kind == topo.KindEndpoint {
+		return at.Index == dest
+	}
+	if v.deadRouter[[2]int{at.Stage, at.Index}] {
+		return false
+	}
+	st := v.t.Spec.Stages[at.Stage]
+	q := digits[at.Stage]
+	for dd := 0; dd < st.Dilation; dd++ {
+		bp := q*st.Dilation + dd
+		if v.deadOut[[3]int{at.Stage, at.Index, bp}] {
+			continue
+		}
+		if v.walk(v.t.Out[at.Stage][at.Index][bp], digits, dest) {
+			return true
+		}
+	}
+	return false
+}

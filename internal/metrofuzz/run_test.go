@@ -1,0 +1,238 @@
+package metrofuzz
+
+import (
+	"strings"
+	"testing"
+
+	"metro/internal/fault"
+	"metro/internal/netsim"
+	"metro/internal/nic"
+	"metro/internal/word"
+)
+
+// tinyScenario is a fast, fully deterministic 4-endpoint burst used by
+// the self-test (mutation) cases: small retry budget so injected bugs
+// fail in a few thousand cycles, parallel leg enabled so the
+// differential machinery is exercised too.
+func tinyScenario() Scenario {
+	return Scenario{
+		Custom:        tinySpec(),
+		Width:         8,
+		DataPipe:      1,
+		LinkDelay:     1,
+		CascadeWidth:  1,
+		FastReclaim:   true,
+		NetSeed:       7,
+		RetryLimit:    10,
+		ListenTimeout: 120,
+		Workers:       4,
+		Traffic:       Burst,
+		TrafficSeed:   11,
+		Messages:      8,
+		PayloadBytes:  12,
+		InjectCycles:  1,
+	}
+}
+
+// deliveryBug fakes a routing-layer defect without touching simulator
+// source: every forward word leaving endpoint 0's injection links has
+// one payload bit flipped, so endpoint 0 can never complete a send even
+// though every destination stays structurally reachable. The delivery
+// oracle must flag each of its messages.
+func deliveryBug() Hooks {
+	return Hooks{Mutate: func(n *netsim.Network) {
+		for k := range n.Topo.Inject[0] {
+			n.InjectLink(0, k).SetCorruptor(func(w word.Word) word.Word {
+				w.Payload ^= 2
+				return w
+			}, nil)
+		}
+	}}
+}
+
+// TestEnsembleOraclesClean is the harness's standing gate: a window of
+// generated scenarios must pass the whole oracle battery on a clean
+// tree. A failure here is a real simulator bug (or an unsound oracle)
+// — the error message carries the replay line either way.
+func TestEnsembleOraclesClean(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 12
+	}
+	if raceEnabled {
+		n = 6
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		rep := Run(Generate(seed), Hooks{})
+		for _, f := range rep.Failures {
+			t.Errorf("seed %d: %s", seed, f)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d failed; reproduce with: %s", seed, rep.Repro())
+		}
+		if rep.Offered == 0 {
+			t.Fatalf("seed %d offered no messages; the generator is miscalibrated", seed)
+		}
+	}
+}
+
+// TestParallelDifferentialWorkers runs the same congested scenario at
+// workers 0, 1 and 4: the acceptance gate for the serial/parallel
+// differential oracle, and the scenario the CI race job leans on.
+func TestParallelDifferentialWorkers(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		s := Scenario{
+			Preset:        "fig1",
+			Width:         8,
+			DataPipe:      1,
+			LinkDelay:     1,
+			CascadeWidth:  1,
+			FastReclaim:   true,
+			NetSeed:       21,
+			RetryLimit:    100,
+			ListenTimeout: 200,
+			Workers:       workers,
+			Traffic:       Burst,
+			TrafficSeed:   31,
+			Messages:      48,
+			PayloadBytes:  16,
+			InjectCycles:  1,
+		}
+		rep := Run(s, Hooks{})
+		for _, f := range rep.Failures {
+			t.Errorf("workers=%d: %s", workers, f)
+		}
+		if rep.Delivered != rep.Offered {
+			t.Errorf("workers=%d: delivered %d of %d in a fault-free burst",
+				workers, rep.Delivered, rep.Offered)
+		}
+	}
+}
+
+// TestInjectedDeliveryBugCaught: the mutation gate. A corrupted
+// injection path must trip the delivery oracle (reachable destination,
+// message never delivered) — proof the oracle detects real
+// delivery-guarantee violations rather than vacuously passing.
+func TestInjectedDeliveryBugCaught(t *testing.T) {
+	rep := Run(tinyScenario(), deliveryBug())
+	if !rep.Failed() {
+		t.Fatal("delivery bug went undetected")
+	}
+	if !hasOracle(rep, "delivery") {
+		t.Fatalf("expected a delivery-oracle failure, got: %v", rep.Failures)
+	}
+}
+
+// pinnedBugRepro is the spec the shrinker reduces tinyScenario to under
+// deliveryBug — pinned so shrinker regressions (or spec-format drift)
+// are caught, and so the repro line documented in docs/FUZZING.md stays
+// honest.
+const pinnedBugRepro = "mf1;topo=4x1:2.1.2,2.1.2;w=8;hw=0;dp=1;vtd=1;cas=1;fast=1;ff=0;wk=0;ns=7;mas=0;retry=10;lt=120;tr=burst;ts=11;msgs=1;rate=0;out=0;think=0;pb=8;ic=1"
+
+// TestInjectedBugShrinksToPinnedRepro: the shrinker must reduce the
+// failing scenario to the one-message serial minimum, the minimum must
+// still fail under the bug, and the emitted spec must replay — the
+// full catch → shrink → repro loop the ISSUE demands.
+func TestInjectedBugShrinksToPinnedRepro(t *testing.T) {
+	min, minRep := Shrink(tinyScenario(), deliveryBug(), 150)
+	if !minRep.Failed() {
+		t.Fatal("shrink lost the failure")
+	}
+	if min.Workers != 0 || min.Messages != 1 || min.PayloadBytes != MinPayloadBytes {
+		t.Errorf("shrink left slack: workers=%d messages=%d payload=%d",
+			min.Workers, min.Messages, min.PayloadBytes)
+	}
+	if got := EncodeSpec(min); got != pinnedBugRepro {
+		t.Errorf("shrunk spec drifted:\n  got:  %s\n  want: %s", got, pinnedBugRepro)
+	}
+	if !strings.Contains(minRep.Repro(), "metrofuzz -replay") {
+		t.Errorf("repro line malformed: %s", minRep.Repro())
+	}
+
+	// The pinned spec replays: still failing under the bug, clean on the
+	// unmutated tree.
+	s, err := DecodeSpec(pinnedBugRepro)
+	if err != nil {
+		t.Fatalf("pinned repro does not decode: %v", err)
+	}
+	if rep := Run(s, deliveryBug()); !rep.Failed() || !hasOracle(rep, "delivery") {
+		t.Fatalf("pinned repro no longer reproduces the bug: %v", rep.Failures)
+	}
+	if rep := Run(s, Hooks{}); rep.Failed() {
+		t.Fatalf("pinned repro fails on a clean tree: %v", rep.Failures)
+	}
+}
+
+// TestTamperedDeliveryCaught: a delivery-path bug that rewrites payload
+// bytes must trip the payload oracle — the end-to-end integrity check
+// that backs the paper's checksum story independently of the CRC.
+func TestTamperedDeliveryCaught(t *testing.T) {
+	s := tinyScenario()
+	s.Workers = 0
+	bug := Hooks{TamperDeliver: func(dest int, payload []byte, intact bool) ([]byte, bool) {
+		if intact && len(payload) > 7 {
+			payload[7] ^= 1
+		}
+		return payload, intact
+	}}
+	rep := Run(s, bug)
+	if !rep.Failed() || !hasOracle(rep, "payload") {
+		t.Fatalf("tampered deliveries not flagged by the payload oracle: %v", rep.Failures)
+	}
+}
+
+// TestDroppedResultCaught: losing completion records must trip the
+// conservation oracle — every offered message produces exactly one
+// Result, the source-responsibility ledger the endpoints guarantee.
+func TestDroppedResultCaught(t *testing.T) {
+	s := tinyScenario()
+	s.Workers = 0
+	bug := Hooks{DropResult: func(r nic.Result) bool { return r.Msg.Src == 1 }}
+	rep := Run(s, bug)
+	if !rep.Failed() || !hasOracle(rep, "conservation") {
+		t.Fatalf("dropped results not flagged by the conservation oracle: %v", rep.Failures)
+	}
+}
+
+// TestFaultViewReachability pins the structural-reachability model the
+// delivery oracle leans on: dead injection links, dead routers and
+// disabled final-stage ports must excuse exactly the pairs they cut off.
+func TestFaultViewReachability(t *testing.T) {
+	s := Scenario{Preset: "fig1"} // 16 endpoints, 2 links each, dilated stages
+	view := func(plan fault.Plan) *faultView {
+		return newFaultView(&legOut{fired: plan}, s)
+	}
+
+	if v := view(nil); !v.reachable(0, 5) || !v.reachable(7, 0) {
+		t.Fatal("fault-free pairs must be reachable")
+	}
+	// Severing both of an endpoint's injection links cuts off everything
+	// it sends, and nothing it receives.
+	v := view(fault.Plan{
+		{Kind: fault.LinkKill, Stage: -1, Index: 0, Port: 0},
+		{Kind: fault.LinkKill, Stage: -1, Index: 0, Port: 1},
+	})
+	if v.reachable(0, 5) {
+		t.Fatal("endpoint with no live injection links can still send")
+	}
+	if !v.reachable(5, 0) {
+		t.Fatal("inbound path should be unaffected by injection-link kills")
+	}
+	// One dead injection link leaves the other path alive.
+	if v := view(fault.Plan{{Kind: fault.LinkKill, Stage: -1, Index: 0, Port: 0}}); !v.reachable(0, 5) {
+		t.Fatal("one live injection link should suffice")
+	}
+	// Figure 1's dilated early stages tolerate any single router loss.
+	if v := view(fault.Plan{{Kind: fault.RouterKill, Stage: 0, Index: 0}}); !v.reachable(0, 5) || !v.reachable(1, 9) {
+		t.Fatal("single stage-0 router loss should not isolate anything in Figure 1")
+	}
+}
+
+func hasOracle(rep *Report, oracle string) bool {
+	for _, f := range rep.Failures {
+		if f.Oracle == oracle {
+			return true
+		}
+	}
+	return false
+}

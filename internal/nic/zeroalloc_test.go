@@ -57,6 +57,9 @@ func TestZeroAllocEndpointSteadyCycle(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are inflated under the race detector")
 	}
+	if testing.Short() {
+		t.Skip("benchmark-backed allocation gate; CI runs it in the dedicated -run ZeroAlloc step")
+	}
 	res := testing.Benchmark(BenchmarkEndpointSteadyCycle)
 	if a := res.AllocsPerOp(); a != 0 {
 		t.Fatalf("endpoint steady cycle: %d allocs/op, want 0", a)

@@ -1,0 +1,98 @@
+package word
+
+import (
+	"bytes"
+	"testing"
+)
+
+// refCRC8 is an independent bitwise implementation of CRC-8 polynomial
+// 0x07 — the differential oracle for the table-driven Checksum.
+func refCRC8(data []byte) uint8 {
+	var crc uint8
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// FuzzChecksum checks the table-driven CRC against the bitwise
+// reference on arbitrary byte streams, and that Add over content words
+// matches AddByte over their payload bytes while control words stay
+// transparent.
+func FuzzChecksum(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x07, 0x80})
+	f.Add(bytes.Repeat([]byte{0xa5}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Checksum
+		for _, b := range data {
+			c.AddByte(b)
+		}
+		if got, want := c.Sum(), refCRC8(data); got != want {
+			t.Fatalf("table CRC %#x, bitwise reference %#x over %d bytes", got, want, len(data))
+		}
+
+		// Content words checksum their payload byte; interleaved control
+		// words must not disturb the running value.
+		contentKinds := []Kind{Route, HeaderPad, Data, ChecksumWord}
+		var viaWords Checksum
+		for i, b := range data {
+			viaWords.Add(Word{Kind: contentKinds[i%len(contentKinds)], Payload: uint32(b)})
+			viaWords.Add(Word{Kind: DataIdle})
+			viaWords.Add(Word{Kind: Turn})
+		}
+		if got, want := viaWords.Sum(), refCRC8(data); got != want {
+			t.Fatalf("word-stream CRC %#x, reference %#x", got, want)
+		}
+	})
+}
+
+// FuzzChecksumSplitJoin checks that a CRC-8 value survives being split
+// into channel words at any width in [1,32], that the allocation-free
+// append form agrees with SplitChecksum, and that the word count
+// matches ChecksumWords.
+func FuzzChecksumSplitJoin(f *testing.F) {
+	f.Add(uint8(0), 1)
+	f.Add(uint8(0xff), 3)
+	f.Add(uint8(0x5a), 8)
+	f.Add(uint8(0xc3), 16)
+	f.Fuzz(func(t *testing.T, sum uint8, width int) {
+		w := width % 32
+		if w < 0 {
+			w = -w
+		}
+		w++ // [1,32]
+		words := SplitChecksum(sum, w)
+		if len(words) != ChecksumWords(w) {
+			t.Fatalf("width %d: %d words, ChecksumWords says %d", w, len(words), ChecksumWords(w))
+		}
+		for i, cw := range words {
+			if cw.Kind != ChecksumWord {
+				t.Fatalf("width %d: word %d has kind %v", w, i, cw.Kind)
+			}
+			if cw.Payload&^Mask(w) != 0 {
+				t.Fatalf("width %d: word %d payload %#x exceeds channel mask", w, i, cw.Payload)
+			}
+		}
+		if got := JoinChecksum(words, w); got != sum {
+			t.Fatalf("width %d: join(split(%#x)) = %#x", w, sum, got)
+		}
+		appended := AppendChecksum(nil, sum, w)
+		if len(appended) != len(words) {
+			t.Fatalf("width %d: AppendChecksum produced %d words, SplitChecksum %d", w, len(appended), len(words))
+		}
+		for i := range words {
+			if appended[i] != words[i] {
+				t.Fatalf("width %d: append/split disagree at word %d: %v vs %v", w, i, appended[i], words[i])
+			}
+		}
+	})
+}
