@@ -1,0 +1,72 @@
+package main_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metro/internal/clitest"
+)
+
+// TestSnapshotWritten runs a minimal benchmark sweep and checks the
+// perf-trajectory contract: BENCH_<n>.json appears with parsed
+// results, and a second run appends the next index rather than
+// clobbering the first.
+func TestSnapshotWritten(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go test as a subprocess; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	args := []string{"-bench", "RecorderSteadyState", "-benchtime", "5x",
+		"-pkgs", "metro/internal/telemetry", "-dir", dir}
+	out := clitest.Run(t, "metrobench", args...)
+	if !strings.Contains(string(out), "BENCH_1.json") {
+		t.Fatalf("first run did not report BENCH_1.json:\n%s", out)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Index      int    `json:"index"`
+		GoVersion  string `json:"go_version"`
+		Benchmarks []struct {
+			Name     string  `json:"name"`
+			Package  string  `json:"package"`
+			NsPerOp  float64 `json:"ns_per_op"`
+			AllocsOp int64   `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Index != 1 || snap.GoVersion == "" || len(snap.Benchmarks) == 0 {
+		t.Fatalf("snapshot incomplete: %+v", snap)
+	}
+	b := snap.Benchmarks[0]
+	if !strings.HasPrefix(b.Name, "BenchmarkRecorderSteadyState") ||
+		b.Package != "metro/internal/telemetry" || b.NsPerOp <= 0 {
+		t.Fatalf("parsed benchmark wrong: %+v", b)
+	}
+	if b.AllocsOp != 0 {
+		t.Errorf("recorder steady state allocates: %+v", b)
+	}
+
+	clitest.Run(t, "metrobench", args...)
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_2.json")); err != nil {
+		t.Fatalf("second run did not append BENCH_2.json: %v", err)
+	}
+}
+
+// TestFailureModes pins the exit codes: 2 for misuse, 1 when nothing
+// matched (an empty snapshot would poison the trajectory silently).
+func TestFailureModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	clitest.ExitCode(t, 2, "metrobench", "stray-arg")
+	clitest.ExitCode(t, 1, "metrobench", "-bench", "NoSuchBenchmarkAnywhere",
+		"-benchtime", "1x", "-pkgs", "metro/internal/telemetry", "-dir", t.TempDir())
+}

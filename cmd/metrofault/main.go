@@ -20,6 +20,7 @@ import (
 	"metro"
 	"metro/internal/netsim"
 	"metro/internal/stats"
+	"metro/internal/telemetry"
 	"metro/internal/traffic"
 )
 
@@ -32,6 +33,8 @@ func main() {
 	window := flag.Uint64("window", 4000, "cycles over which faults appear")
 	measure := flag.Uint64("measure", 12000, "measured cycles after the fault window")
 	seed := flag.Int64("seed", 9, "seed")
+	traceOut := flag.String("trace", "", "record the highest-count sweep point's telemetry to this mtr1 file")
+	metrics := flag.Bool("metrics", false, "print the telemetry summary of the highest-count sweep point")
 	workers := flag.Int("workers", 0, "parallel Eval/Commit workers; 0 runs the serial reference engine")
 	flag.Parse()
 
@@ -54,9 +57,16 @@ func main() {
 	t := stats.Table{Header: []string{
 		"faults", "delivered", "failed", "mean lat", "p95", "retries/msg", "timeouts",
 	}}
-	for _, count := range counts {
+	for i, count := range counts {
+		var rec *telemetry.Recorder
+		if (*traceOut != "" || *metrics) && i == len(counts)-1 {
+			rec = telemetry.New(telemetry.Options{})
+		}
 		p, failed, timeouts := runWithFaults(*kind, count, *load, *msgBytes,
-			*warmup, *window, *measure, *seed, *workers)
+			*warmup, *window, *measure, *seed, *workers, rec)
+		if rec != nil {
+			writeTrace(rec, *traceOut, *metrics, count)
+		}
 		t.Add(
 			fmt.Sprintf("%d", count),
 			fmt.Sprintf("%d", p.Delivered),
@@ -71,8 +81,36 @@ func main() {
 	fmt.Println("\nlatency degrades gracefully: stochastic path selection routes retries around faults")
 }
 
+// writeTrace emits the recorded sweep point: the trace file, and/or its
+// summary on stdout (before the sweep table, which the caller prints
+// when the sweep finishes).
+func writeTrace(rec *telemetry.Recorder, traceOut string, metrics bool, count int) {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrofault: %v\n", err)
+			os.Exit(1)
+		}
+		if err := telemetry.Encode(f, rec.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "metrofault: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "metrofault: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events written to %s\n", rec.Len(), traceOut)
+	}
+	if metrics {
+		fmt.Printf("telemetry at %d faults:\n", count)
+		fmt.Print(telemetry.Summarize(rec.Snapshot()).Render())
+		fmt.Println()
+	}
+}
+
 func runWithFaults(kind string, count int, load float64, msgBytes int,
-	warmup, window, measure uint64, seed int64, workers int) (stats.LoadPoint, int, int) {
+	warmup, window, measure uint64, seed int64, workers int,
+	rec *telemetry.Recorder) (stats.LoadPoint, int, int) {
 	driver := &traffic.ClosedLoop{
 		Load:        load,
 		MsgBytes:    msgBytes,
@@ -92,6 +130,7 @@ func runWithFaults(kind string, count int, load float64, msgBytes int,
 		ListenTimeout: 300,
 		Workers:       workers,
 		OnResult:      driver.OnResult,
+		Recorder:      rec,
 	}
 	n, err := netsim.Build(params)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 
 	"metro/internal/metrofuzz"
 	"metro/internal/stats"
+	"metro/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func main() {
 	shrink := flag.Bool("shrink", true, "on failure, shrink to a minimal failing scenario before reporting")
 	shrinkRuns := flag.Int("shrink-runs", 150, "run budget for the shrinker")
 	verbose := flag.Bool("v", false, "print one line per scenario")
+	traceOut := flag.String("trace", "", "single-scenario mode: record the serial reference leg's telemetry to this mtr1 file")
+	metrics := flag.Bool("metrics", false, "single-scenario mode: print the serial reference leg's telemetry summary")
 	flag.Parse()
 
 	switch {
@@ -45,10 +48,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err) // decode errors carry the metrofuzz: prefix
 			os.Exit(2)
 		}
-		os.Exit(runOne(s, *shrink, *shrinkRuns, true))
+		os.Exit(runOne(s, *shrink, *shrinkRuns, true, *traceOut, *metrics))
 	case *seed >= 0:
-		os.Exit(runOne(metrofuzz.Generate(*seed), *shrink, *shrinkRuns, true))
+		os.Exit(runOne(metrofuzz.Generate(*seed), *shrink, *shrinkRuns, true, *traceOut, *metrics))
 	default:
+		if *traceOut != "" || *metrics {
+			fmt.Fprintln(os.Stderr, "metrofuzz: -trace/-metrics need a single scenario (-seed or -replay)")
+			os.Exit(2)
+		}
 		n := *seeds
 		if n <= 0 {
 			n = 20
@@ -58,11 +65,36 @@ func main() {
 }
 
 // runOne executes a single scenario and reports it in full.
-func runOne(s metrofuzz.Scenario, shrink bool, shrinkRuns int, verbose bool) int {
-	rep := metrofuzz.Run(s, metrofuzz.Hooks{})
+func runOne(s metrofuzz.Scenario, shrink bool, shrinkRuns int, verbose bool, traceOut string, metrics bool) int {
+	hooks := metrofuzz.Hooks{}
+	if traceOut != "" || metrics {
+		hooks.Recorder = telemetry.New(telemetry.Options{})
+	}
+	rep := metrofuzz.Run(s, hooks)
 	if verbose {
 		fmt.Printf("scenario: %s\n", describe(rep))
 		fmt.Printf("spec:     %s\n", rep.Spec)
+	}
+	if hooks.Recorder != nil {
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrofuzz: %v\n", err)
+				os.Exit(1)
+			}
+			if err := telemetry.Encode(f, hooks.Recorder.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "metrofuzz: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "metrofuzz: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: %d events written to %s\n", hooks.Recorder.Len(), traceOut)
+		}
+		if metrics {
+			fmt.Print(telemetry.Summarize(hooks.Recorder.Snapshot()).Render())
+		}
 	}
 	if !rep.Failed() {
 		fmt.Printf("ok: all oracles passed (%d messages, %d cycles)\n", rep.Offered, rep.Cycles)

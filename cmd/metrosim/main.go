@@ -21,6 +21,7 @@ import (
 
 	"metro"
 	"metro/internal/stats"
+	"metro/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 	outstanding := flag.Int("outstanding", 1, "messages in flight per endpoint")
 	openloop := flag.Bool("openloop", false, "Bernoulli (open-loop) injection instead of processor-stall")
 	hist := flag.Bool("hist", false, "print the latency histogram of the highest-load point")
+	traceOut := flag.String("trace", "", "rerun the highest-load point with the flight recorder and write its mtr1 trace to this file")
+	metrics := flag.Bool("metrics", false, "rerun the highest-load point with the flight recorder and print its telemetry summary")
 	workers := flag.Int("workers", 0, "parallel Eval/Commit workers; 0 runs the serial reference engine")
 	flag.Parse()
 
@@ -145,6 +148,49 @@ func main() {
 			last.OfferedLoad, last.Latency.Mean, last.Latency.P95)
 		run.Load = last.OfferedLoad
 		printHistogram(run, *openloop)
+	}
+	if (*traceOut != "" || *metrics) && len(points) > 0 {
+		run.Load = points[len(points)-1].OfferedLoad
+		recordPoint(run, *openloop, *traceOut, *metrics)
+	}
+}
+
+// recordPoint reruns one load point with the flight recorder attached,
+// writing the recorded trace and/or printing its telemetry summary.
+// Reruns are deterministic, so the recorded point is the same
+// experiment the sweep's last row reported.
+func recordPoint(run metro.RunSpec, openloop bool, traceOut string, metrics bool) {
+	rec := telemetry.New(telemetry.Options{})
+	run.Net.Recorder = rec
+	var err error
+	if openloop {
+		_, err = metro.RunOpenLoop(run)
+	} else {
+		_, err = metro.RunClosedLoop(run)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metrosim: %v\n", err)
+		os.Exit(1)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrosim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := telemetry.Encode(f, rec.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "metrosim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "metrosim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d events written to %s\n", rec.Len(), traceOut)
+	}
+	if metrics {
+		fmt.Printf("\ntelemetry at offered load %.2f:\n", run.Load)
+		fmt.Print(telemetry.Summarize(rec.Snapshot()).Render())
 	}
 }
 

@@ -43,7 +43,7 @@ var componentStatePackages = map[string]bool{
 func EvalIsolation() *Analyzer {
 	return &Analyzer{
 		Name: "eval-isolation",
-		Doc:  "flag Eval-phase call trees that touch another component's non-link state; annotate //metrovet:shared <reason> for co-located or serialized components",
+		Doc:  "flag Eval-phase call trees (components and telemetry sinks) that touch another component's non-link state; annotate //metrovet:shared <reason> for co-located or serialized components",
 		Run:  runEvalIsolation,
 	}
 }
@@ -88,13 +88,25 @@ func runEvalIsolation(p *Package) []Finding {
 		fd       *ast.FuncDecl
 		root     string
 		rootType string
+		kind     string // "component" or "sink"
 	}
 	var queue []rootedDecl
 	for tname, methods := range byRecv {
 		if methods["Eval"] == nil || methods["Commit"] == nil {
 			continue
 		}
-		queue = append(queue, rootedDecl{methods["Eval"], fmt.Sprintf("(*%s).Eval", tname), tname})
+		queue = append(queue, rootedDecl{methods["Eval"], fmt.Sprintf("(*%s).Eval", tname), tname, "component"})
+	}
+	// Telemetry sinks: tracer implementations run inside a router's or
+	// endpoint's Eval on a worker shard, so their call trees are held to
+	// the same isolation contract — a sink observes the simulation, it
+	// must not mutate it. Tracer types are detected structurally: the
+	// router tracer's four-callback vocabulary, or the endpoint tracer's
+	// Message, each with the cycle as its leading uint64 parameter.
+	for tname, methods := range byRecv {
+		for _, name := range tracerRoots(methods) {
+			queue = append(queue, rootedDecl{methods[name], fmt.Sprintf("(*%s).%s", tname, name), tname, "sink"})
+		}
 	}
 	if len(queue) == 0 {
 		return nil
@@ -102,7 +114,7 @@ func runEvalIsolation(p *Package) []Finding {
 	sort.Slice(queue, func(i, j int) bool { return queue[i].root < queue[j].root })
 
 	// BFS over the intra-package call graph.
-	type rootInfo struct{ root, rootType string }
+	type rootInfo struct{ root, rootType, kind string }
 	rootOf := map[*ast.FuncDecl]rootInfo{}
 	for len(queue) > 0 {
 		cur := queue[0]
@@ -110,7 +122,7 @@ func runEvalIsolation(p *Package) []Finding {
 		if _, seen := rootOf[cur.fd]; seen {
 			continue
 		}
-		rootOf[cur.fd] = rootInfo{cur.root, cur.rootType}
+		rootOf[cur.fd] = rootInfo{cur.root, cur.rootType, cur.kind}
 		ast.Inspect(cur.fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -124,22 +136,26 @@ func runEvalIsolation(p *Package) []Finding {
 				callee = p.ObjectOf(fun.Sel)
 			}
 			if fd, ok := decls[callee]; ok {
-				queue = append(queue, rootedDecl{fd, cur.root, cur.rootType})
+				queue = append(queue, rootedDecl{fd, cur.root, cur.rootType, cur.kind})
 			}
 			return true
 		})
 	}
 
 	var out []Finding
-	report := func(pos token.Position, root, what string) {
+	report := func(pos token.Position, root, kind, what string) {
 		if p.suppressed("eval-isolation", "shared", pos) {
 			return
+		}
+		contract := "a sharded component may touch only its own state and link ends"
+		if kind == "sink" {
+			contract = "a telemetry sink observes the simulation and may write only its own buffers"
 		}
 		out = append(out, Finding{
 			Pos:  pos,
 			Rule: "eval-isolation",
-			Msg: fmt.Sprintf("%s in Eval path (reachable from %s); a sharded component may touch only its own state and link ends — annotate //metrovet:shared <reason> if co-located or serialized",
-				what, root),
+			Msg: fmt.Sprintf("%s in Eval path (reachable from %s); %s — annotate //metrovet:shared <reason> if co-located or serialized",
+				what, root, contract),
 		})
 	}
 
@@ -157,9 +173,53 @@ func runEvalIsolation(p *Package) []Finding {
 		if fd.Recv != nil && len(fd.Recv.List) == 1 {
 			ownRecv = recvTypeName(fd)
 		}
-		checkIsolation(p, fd.Body, ri.root, ri.rootType, ownRecv, report)
+		checkIsolation(p, fd.Body, ri.root, ri.rootType, ownRecv,
+			func(pos token.Position, root, what string) { report(pos, root, ri.kind, what) })
 	}
 	return out
+}
+
+// routerTracerMethods is the core.Tracer callback vocabulary; a type
+// declaring all four with tracer shape is a router-event sink.
+var routerTracerMethods = [...]string{"Allocated", "Blocked", "Released", "Reversed"}
+
+// tracerRoots returns the method names of methods that make the
+// receiver type a telemetry sink: the full router-tracer vocabulary,
+// and/or an endpoint-tracer Message.
+func tracerRoots(methods map[string]*ast.FuncDecl) []string {
+	var roots []string
+	all := true
+	for _, name := range routerTracerMethods {
+		if fd := methods[name]; fd == nil || !tracerShape(fd) {
+			all = false
+			break
+		}
+	}
+	if all {
+		roots = append(roots, routerTracerMethods[:]...)
+	}
+	// Message alone is a generic name; demand the endpoint tracer's
+	// wide parameter list too (cycle, endpoint, kind, id, payloads).
+	if fd := methods["Message"]; fd != nil && tracerShape(fd) && fd.Type.Params.NumFields() >= 4 {
+		roots = append(roots, "Message")
+	}
+	return roots
+}
+
+// tracerShape reports whether fd has the tracer-callback shape: a
+// leading uint64 cycle parameter and no results. The check is
+// syntactic (the literal token "uint64"), so it works identically on
+// compiled and fixture packages.
+func tracerShape(fd *ast.FuncDecl) bool {
+	ft := fd.Type
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		return false
+	}
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return false
+	}
+	first, ok := ft.Params.List[0].Type.(*ast.Ident)
+	return ok && first.Name == "uint64"
 }
 
 // checkIsolation walks one function body for isolation violations.

@@ -69,7 +69,15 @@ func Golden(t *testing.T, name, tool string, args ...string) {
 	if testing.Short() {
 		t.Skip("CLI golden test execs a subprocess; skipped in -short mode")
 	}
-	got := Run(t, tool, args...)
+	GoldenBytes(t, name, Run(t, tool, args...))
+}
+
+// GoldenBytes compares already-captured output against
+// testdata/<name>.golden, for tests that post-process or compose tool
+// invocations (e.g. metrotrace record into a temp file, then summarize
+// it) before pinning the result.
+func GoldenBytes(t *testing.T, name string, got []byte) {
+	t.Helper()
 	path := filepath.Join("testdata", name+".golden")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {

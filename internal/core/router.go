@@ -157,6 +157,7 @@ type closer struct {
 // valid.
 type Router struct {
 	name   string
+	id     RouterID
 	cfg    Config
 	set    Settings
 	rng    prng.Source
@@ -203,6 +204,7 @@ func NewRouter(name string, cfg Config, set Settings, rng prng.Source) *Router {
 	injCap := 2 + word.ChecksumWords(cfg.Width)
 	r := &Router{
 		name:        name,
+		id:          FreeID(),
 		cfg:         cfg,
 		set:         set.Clone(),
 		rng:         rng,
@@ -237,6 +239,17 @@ func NewRouter(name string, cfg Config, set Settings, rng prng.Source) *Router {
 
 // Name returns the router's identifier.
 func (r *Router) Name() string { return r.name }
+
+// ID returns the router's structured network identity (FreeID until the
+// network that placed the router calls SetID).
+func (r *Router) ID() RouterID { return r.id }
+
+// SetID records the router's structured position in its network. Tracer
+// events carry this identity, so observers aggregate by stage/index/lane
+// instead of parsing names.
+//
+//metrovet:mutator network construction wiring, before the clock starts
+func (r *Router) SetID(id RouterID) { r.id = id }
 
 // Config returns the architectural parameters.
 func (r *Router) Config() Config { return r.cfg }
@@ -366,7 +379,7 @@ func (r *Router) KillConnection(cycle uint64, fp int) {
 		return
 	}
 	r.freeBackward(fp)
-	r.tracer.Released(cycle, r.name, fp, -1)
+	r.tracer.Released(cycle, r.id, fp, -1)
 	p.reset(fpDrain)
 	p.bcbOut = true
 }
@@ -407,7 +420,7 @@ func (r *Router) inputPass(cycle uint64) []request {
 		// reclamation propagating toward the source).
 		if p.bp >= 0 && r.bLinks[p.bp] != nil && r.bLinks[p.bp].RecvBCB() {
 			r.freeBackward(fp)
-			r.tracer.Released(cycle, r.name, fp, -1)
+			r.tracer.Released(cycle, r.id, fp, -1)
 			p.reset(fpDrain)
 			p.bcbOut = true
 			// Fall through to fpDrain handling with this cycle's input.
@@ -430,7 +443,7 @@ func (r *Router) inputPass(cycle uint64) []request {
 				bp := p.bp
 				r.freeBackward(fp)
 				p.reset(fpIdle)
-				r.tracer.Released(cycle, r.name, fp, bp)
+				r.tracer.Released(cycle, r.id, fp, bp)
 				continue
 			}
 			p.ck.Add(in)
@@ -475,7 +488,7 @@ func (r *Router) inputPass(cycle uint64) []request {
 				bp := p.bp
 				r.freeBackward(fp)
 				p.reset(fpIdle)
-				r.tracer.Released(cycle, r.name, fp, bp)
+				r.tracer.Released(cycle, r.id, fp, bp)
 				continue
 			}
 			rin := word.Word{}
@@ -505,9 +518,9 @@ func (r *Router) inputPass(cycle uint64) []request {
 				status := word.Word{Kind: word.Status, Payload: flags & word.Mask(r.cfg.Width)}
 				p.stageInject(status, p.ck.Sum(), r.cfg.Width, true)
 				p.state = fpBlockedReply
-				r.tracer.Reversed(cycle, r.name, fp, true)
+				r.tracer.Reversed(cycle, r.id, fp, true)
 			case word.Drop, word.Empty:
-				r.tracer.Released(cycle, r.name, fp, -1)
+				r.tracer.Released(cycle, r.id, fp, -1)
 				p.reset(fpIdle)
 			case word.Route, word.HeaderPad, word.Data, word.DataIdle,
 				word.Status, word.ChecksumWord:
@@ -599,7 +612,7 @@ func (r *Router) allocate(cycle uint64, reqs []request) {
 		} else {
 			p.state = fpForward
 		}
-		r.tracer.Allocated(cycle, r.name, q.fp, bp)
+		r.tracer.Allocated(cycle, r.id, q.fp, bp)
 	}
 }
 
@@ -618,7 +631,7 @@ func (r *Router) pick(n int) int {
 func (r *Router) block(cycle uint64, q request) {
 	p := &r.fwd[q.fp]
 	fast := r.set.FastReclaim[q.fp]
-	r.tracer.Blocked(cycle, r.name, q.fp, q.dir, fast)
+	r.tracer.Blocked(cycle, r.id, q.fp, q.dir, fast)
 	if fast {
 		p.reset(fpDrain)
 		p.bcbOut = true
@@ -688,7 +701,7 @@ func (r *Router) outputPass(cycle uint64) {
 					r.fLinks[fp].Send(w)
 				}
 				if w.Kind == word.Drop {
-					r.tracer.Released(cycle, r.name, fp, -1)
+					r.tracer.Released(cycle, r.id, fp, -1)
 					p.reset(fpIdle)
 				}
 			}
@@ -796,7 +809,7 @@ func (r *Router) flip(cycle uint64, fp int, to fpState) {
 	p.revActive = false
 	p.closing = false
 	p.state = to
-	r.tracer.Reversed(cycle, r.name, fp, to == fpReversed)
+	r.tracer.Reversed(cycle, r.id, fp, to == fpReversed)
 }
 
 // detach moves forward port fp's connection tail to a detached closer and
@@ -845,7 +858,7 @@ func (r *Router) runClosers(cycle uint64) {
 		c.deadline--
 		if sent.Kind == word.Drop || c.deadline <= 0 {
 			r.busyBy[c.bp] = -1
-			r.tracer.Released(cycle, r.name, c.fp, c.bp)
+			r.tracer.Released(cycle, r.id, c.fp, c.bp)
 			// Return the retired closer's buffers to the spare pool.
 			//metrovet:alloc the pool never exceeds the Outputs capacity preallocated in NewRouter
 			r.spareBufs = append(r.spareBufs, portBufs{
@@ -868,7 +881,7 @@ func (r *Router) release(cycle uint64, fp int) {
 	bp := p.bp
 	r.freeBackward(fp)
 	p.reset(fpIdle)
-	r.tracer.Released(cycle, r.name, fp, bp)
+	r.tracer.Released(cycle, r.id, fp, bp)
 }
 
 func (r *Router) freeBackward(fp int) {

@@ -633,10 +633,10 @@ type captureTracer struct {
 	allocated, blocked, released, reversed int
 }
 
-func (c *captureTracer) Allocated(uint64, string, int, int)     { c.allocated++ }
-func (c *captureTracer) Blocked(uint64, string, int, int, bool) { c.blocked++ }
-func (c *captureTracer) Released(uint64, string, int, int)      { c.released++ }
-func (c *captureTracer) Reversed(uint64, string, int, bool)     { c.reversed++ }
+func (c *captureTracer) Allocated(uint64, core.RouterID, int, int)     { c.allocated++ }
+func (c *captureTracer) Blocked(uint64, core.RouterID, int, int, bool) { c.blocked++ }
+func (c *captureTracer) Released(uint64, core.RouterID, int, int)      { c.released++ }
+func (c *captureTracer) Reversed(uint64, core.RouterID, int, bool)     { c.reversed++ }
 
 func TestTracerEvents(t *testing.T) {
 	cfg := cfg4x4()

@@ -15,6 +15,7 @@ import (
 
 	"metro/internal/link"
 	"metro/internal/netsim"
+	"metro/internal/telemetry"
 	"metro/internal/word"
 )
 
@@ -100,10 +101,31 @@ func (i *Injector) Eval(cycle uint64) {
 	for i.next < len(i.plan) && i.plan[i.next].At <= cycle {
 		e := i.plan[i.next]
 		i.apply(e)
+		i.record(cycle, e)
 		//metrovet:alloc per-fault-event telemetry, bounded by the plan length
 		i.fired = append(i.fired, e)
 		i.next++
 	}
+}
+
+// record emits the fault into the network's flight recorder, when one is
+// attached: Src locates the victim (router, or endpoint for
+// injection-link faults), A is the fault kind code and B the port.
+//
+//metrovet:shared injector runs in the serialized epilogue; the network-scope telemetry buffer is its sanctioned sink
+func (i *Injector) record(cycle uint64, e Event) {
+	buf := i.net.FaultSink()
+	if buf == nil {
+		return
+	}
+	src := telemetry.RouterSource(e.Stage, e.Index, 0)
+	if e.Stage < 0 {
+		src = telemetry.EndpointSource(e.Index)
+	}
+	buf.Emit(telemetry.Event{
+		Cycle: cycle, Src: src, Kind: telemetry.EvFault,
+		A: int32(e.Kind), B: int32(e.Port),
+	})
 }
 
 // Commit implements clock.Component.

@@ -9,6 +9,7 @@ import (
 	"metro/internal/fault"
 	"metro/internal/netsim"
 	"metro/internal/nic"
+	"metro/internal/telemetry"
 	"metro/internal/topo"
 )
 
@@ -32,6 +33,12 @@ type Hooks struct {
 	TamperDeliver func(dest int, payload []byte, intact bool) ([]byte, bool)
 	// DropResult suppresses completion records (a lost-completion bug).
 	DropResult func(nic.Result) bool
+	// Recorder, when set, attaches the telemetry flight recorder to the
+	// serial reference leg — the leg the oracles audit — so any
+	// scenario, including a shrunken repro, can be replayed with full
+	// telemetry. A Recorder wires into at most one network build, so
+	// Hooks carrying one must be used for exactly one Run.
+	Recorder *telemetry.Recorder
 }
 
 // Failure is one oracle violation.
@@ -175,6 +182,12 @@ func runLeg(s Scenario, h Hooks, workers int, checkInv bool, fixedCycles uint64)
 			}
 			leg.deliveries = append(leg.deliveries, delivery{Dest: dest, Payload: buf, Intact: intact})
 		},
+	}
+	// The recorder observes the serial reference leg only (checkInv
+	// marks it): a recorder wires into one build, and the parallel leg
+	// is audited against the serial one rather than traced itself.
+	if h.Recorder != nil && checkInv {
+		p.Recorder = h.Recorder
 	}
 	n, err := netsim.Build(p)
 	if err != nil {

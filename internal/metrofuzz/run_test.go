@@ -7,6 +7,7 @@ import (
 	"metro/internal/fault"
 	"metro/internal/netsim"
 	"metro/internal/nic"
+	"metro/internal/telemetry"
 	"metro/internal/word"
 )
 
@@ -235,4 +236,30 @@ func hasOracle(rep *Report, oracle string) bool {
 		}
 	}
 	return false
+}
+
+// TestRecorderHookIsPassive checks the -trace seam: attaching the
+// flight recorder to a run captures a non-empty event stream without
+// perturbing the scenario's outcome — the recorded run is the same
+// experiment as the bare one.
+func TestRecorderHookIsPassive(t *testing.T) {
+	s := tinyScenario()
+	bare := Run(s, Hooks{})
+	rec := telemetry.New(telemetry.Options{})
+	traced := Run(s, Hooks{Recorder: rec})
+	if bare.Failed() || traced.Failed() {
+		t.Fatalf("clean scenario failed: bare=%v traced=%v", bare.Failures, traced.Failures)
+	}
+	if bare.Cycles != traced.Cycles || bare.Delivered != traced.Delivered || bare.Offered != traced.Offered {
+		t.Fatalf("recorder changed the run: bare %d cycles %d/%d, traced %d cycles %d/%d",
+			bare.Cycles, bare.Delivered, bare.Offered,
+			traced.Cycles, traced.Delivered, traced.Offered)
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder captured no events")
+	}
+	sum := telemetry.Summarize(rec.Snapshot())
+	if sum.Delivered != traced.Delivered {
+		t.Errorf("trace reconstructs %d deliveries, harness saw %d", sum.Delivered, traced.Delivered)
+	}
 }

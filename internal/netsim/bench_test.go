@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"metro/internal/telemetry"
+	"metro/internal/topo"
+)
+
+// benchCycles drives a congested Figure 3 network for b.N cycles with
+// a fixed two-messages-per-cycle schedule — the whole-network hot loop
+// the perf trajectory tracks. The recorder, when non-nil, measures the
+// enabled-tracing overhead; metrobench reports the pair side by side.
+func benchCycles(b *testing.B, rec *telemetry.Recorder) {
+	n, err := Build(Params{
+		Spec: topo.Figure3(), Width: 8, DataPipe: 2, LinkDelay: 1,
+		Seed: 71, RetryLimit: 600, ListenTimeout: 200, Recorder: rec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	rng := rand.New(rand.NewSource(17))
+	eps := n.Params.Spec.Endpoints
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 2; k++ {
+			src, dest := rng.Intn(eps), rng.Intn(eps)
+			if dest == src {
+				dest = (dest + 1) % eps
+			}
+			n.Send(src, dest, benchPayload[:])
+		}
+		n.Engine.Step()
+	}
+}
+
+var benchPayload [20]byte
+
+// BenchmarkCongestedStep is the untraced baseline: ns per simulated
+// cycle of a congested Figure 3 network.
+func BenchmarkCongestedStep(b *testing.B) {
+	benchCycles(b, nil)
+}
+
+// BenchmarkCongestedStepTraced is the same workload with the flight
+// recorder attached; the delta against BenchmarkCongestedStep is the
+// tracing overhead metrobench records.
+func BenchmarkCongestedStepTraced(b *testing.B) {
+	benchCycles(b, telemetry.New(telemetry.Options{}))
+}

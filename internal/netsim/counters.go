@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"metro/internal/core"
 )
 
 // Counters is a core.Tracer that aggregates router events per network
@@ -12,9 +14,16 @@ import (
 // — classically, contention concentrates in the early dilated stages where
 // paths have not yet separated.
 //
+// Aggregation keys on the structured core.RouterID the tracer API
+// carries (netsim stamps every router, including each cascade lane,
+// with its stage/index/lane at Build), so there is no name parsing:
+// routers built by hand report under stage -1 until SetID places them,
+// and cascade lanes (the old ".m<lane>" name suffix) fold into their
+// logical router's stage exactly.
+//
 // Counters is safe for concurrent use, although the simulation engine is
 // single-threaded; the lock simply makes the tracer safe to share between
-// a running simulation and a observer goroutine in interactive tools.
+// a running simulation and an observer goroutine in interactive tools.
 type Counters struct {
 	mu        sync.Mutex
 	allocated map[int]uint64
@@ -33,51 +42,29 @@ func NewCounters() *Counters {
 	}
 }
 
-// stageOf parses the stage index from the router names netsim assigns
-// ("s<stage>r<index>", with an optional ".m<lane>" suffix for cascades).
-func stageOf(router string) int {
-	if !strings.HasPrefix(router, "s") {
-		return -1
-	}
-	rest := router[1:]
-	end := strings.IndexByte(rest, 'r')
-	if end <= 0 {
-		return -1
-	}
-	stage := 0
-	for _, c := range rest[:end] {
-		if c < '0' || c > '9' {
-			return -1
-		}
-		stage = stage*10 + int(c-'0')
-	}
-	return stage
-}
-
 // Allocated implements core.Tracer.
-func (c *Counters) Allocated(cycle uint64, router string, fp, bp int) {
-	c.bump(c.allocated, router)
+func (c *Counters) Allocated(cycle uint64, id core.RouterID, fp, bp int) {
+	c.bump(c.allocated, id)
 }
 
 // Blocked implements core.Tracer.
-func (c *Counters) Blocked(cycle uint64, router string, fp, dir int, fast bool) {
-	c.bump(c.blocked, router)
+func (c *Counters) Blocked(cycle uint64, id core.RouterID, fp, dir int, fast bool) {
+	c.bump(c.blocked, id)
 }
 
 // Released implements core.Tracer.
-func (c *Counters) Released(cycle uint64, router string, fp, bp int) {
-	c.bump(c.released, router)
+func (c *Counters) Released(cycle uint64, id core.RouterID, fp, bp int) {
+	c.bump(c.released, id)
 }
 
 // Reversed implements core.Tracer.
-func (c *Counters) Reversed(cycle uint64, router string, fp int, towardSource bool) {
-	c.bump(c.reversed, router)
+func (c *Counters) Reversed(cycle uint64, id core.RouterID, fp int, towardSource bool) {
+	c.bump(c.reversed, id)
 }
 
-func (c *Counters) bump(m map[int]uint64, router string) {
-	s := stageOf(router)
+func (c *Counters) bump(m map[int]uint64, id core.RouterID) {
 	c.mu.Lock()
-	m[s]++
+	m[id.Stage]++
 	c.mu.Unlock()
 }
 

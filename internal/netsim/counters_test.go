@@ -3,23 +3,33 @@ package netsim
 import (
 	"testing"
 
+	"metro/internal/core"
 	"metro/internal/topo"
 )
 
-func TestStageOfParsing(t *testing.T) {
-	cases := map[string]int{
-		"s0r3":    0,
-		"s2r11":   2,
-		"s10r0":   10,
-		"s1r4.m0": 1,
-		"weird":   -1,
-		"sxr1":    -1,
-		"":        -1,
+// TestCountersStructuredIdentity checks that aggregation keys on the
+// RouterID stage directly: cascade lanes fold into their logical stage,
+// and unplaced routers (FreeID) report under stage -1 instead of being
+// misparsed.
+func TestCountersStructuredIdentity(t *testing.T) {
+	c := NewCounters()
+	c.Allocated(1, core.RouterID{Stage: 2, Index: 11, Lane: 0}, 0, 0)
+	c.Allocated(2, core.RouterID{Stage: 2, Index: 4, Lane: 1}, 0, 0) // cascade lane, same stage
+	c.Blocked(3, core.RouterID{Stage: 0, Index: 0, Lane: 0}, 0, 0, true)
+	c.Allocated(4, core.FreeID(), 0, 0) // unplaced router
+	stats := c.PerStage(3)
+	if stats[2].Allocated != 2 {
+		t.Errorf("stage 2 allocated = %d, want 2 (lane events must fold in)", stats[2].Allocated)
 	}
-	//metrovet:ordered independent assertions per table entry
-	for name, want := range cases {
-		if got := stageOf(name); got != want {
-			t.Errorf("stageOf(%q) = %d, want %d", name, got, want)
+	if stats[0].Blocked != 1 {
+		t.Errorf("stage 0 blocked = %d, want 1", stats[0].Blocked)
+	}
+	for _, s := range stats {
+		if s.Stage == 2 {
+			continue
+		}
+		if s.Allocated != 0 {
+			t.Errorf("stage %d allocated = %d, want 0 (FreeID must not leak into real stages)", s.Stage, s.Allocated)
 		}
 	}
 }

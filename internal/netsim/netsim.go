@@ -18,6 +18,7 @@ import (
 	"metro/internal/link"
 	"metro/internal/nic"
 	"metro/internal/prng"
+	"metro/internal/telemetry"
 	"metro/internal/topo"
 	"metro/internal/word"
 )
@@ -82,8 +83,21 @@ type Params struct {
 	// Tracer, when set, observes router events. Tracing requires the
 	// serial engine: Build rejects Tracer combined with Workers > 0,
 	// because routers on different shards would interleave trace calls
-	// nondeterministically.
+	// nondeterministically. (The Recorder path below has no such
+	// restriction — it buffers per shard and merges at the barrier.)
 	Tracer core.Tracer
+	// Recorder, when set, attaches the telemetry flight recorder: every
+	// router, endpoint, the gauge sampler and any fault injector record
+	// cycle-stamped events into per-shard buffers that are merged in
+	// deterministic order at the cycle barrier. Works at every worker
+	// count — recorded traces are byte-identical across them. A Recorder
+	// instance must be wired into at most one Build (buffer registration
+	// defines the merge order).
+	Recorder *telemetry.Recorder
+	// GaugePeriod is the cycle period of the per-cycle gauges (port
+	// occupancy, open connections, queue depths) when Recorder is set;
+	// 0 samples every cycle.
+	GaugePeriod uint64
 	// Workers selects the engine execution mode: 0 (the default) runs
 	// the serial reference engine; n >= 1 runs the partitioned parallel
 	// engine with n shards (stage-major partitioning — each router
@@ -137,6 +151,7 @@ type Network struct {
 	results []nic.Result
 	nextID  uint64
 	events  [][]event // per-endpoint callback buffers, drained by the collector
+	netBuf  *telemetry.Buf
 }
 
 // event is one endpoint callback (completion or delivery) captured
@@ -282,12 +297,10 @@ func Build(p Params) (*Network, error) {
 					lanes[s][j][k] = g.Member(k)
 				}
 			}
-			for _, r := range lanes[s][j] {
+			for lane, r := range lanes[s][j] {
+				r.SetID(core.RouterID{Stage: s, Index: j, Lane: lane})
 				if p.FirstFreeSelection {
 					r.SetSelectionPolicy(core.SelectFirstFree)
-				}
-				if p.Tracer != nil {
-					r.SetTracer(p.Tracer)
 				}
 			}
 			n.Routers[s][j] = lanes[s][j][0]
@@ -339,6 +352,30 @@ func Build(p Params) (*Network, error) {
 			return nil, err
 		}
 		n.Endpoints[e] = ep
+	}
+
+	// Tracer wiring. The flight recorder path tees a per-column recording
+	// tracer into every lane (the column's lanes are co-located on one
+	// shard, so they may share a buffer); the legacy aggregate Tracer, if
+	// any, rides along on the same chain.
+	if p.Recorder != nil {
+		recTracers := wireTelemetry(n, lanes)
+		for s := range lanes {
+			for j := range lanes[s] {
+				t := core.Tee(p.Tracer, recTracers[s][j])
+				for _, r := range lanes[s][j] {
+					r.SetTracer(t)
+				}
+			}
+		}
+	} else if p.Tracer != nil {
+		for s := range lanes {
+			for j := range lanes[s] {
+				for _, r := range lanes[s][j] {
+					r.SetTracer(p.Tracer)
+				}
+			}
+		}
 	}
 
 	// Links: injection, inter-stage, delivery — one physical link per
@@ -421,6 +458,20 @@ func Build(p Params) (*Network, error) {
 	// sharded Eval (links, routers, endpoints), before any driver or
 	// injector registered post-Build.
 	n.Engine.Add(&collector{n: n})
+	if p.Recorder != nil {
+		period := p.GaugePeriod
+		if period == 0 {
+			period = 1
+		}
+		// The sampler reads the quiescent network at the barrier; the
+		// flusher then drains every shard buffer in registration order.
+		// Components registered after Build (drivers, fault injectors) run
+		// after the flusher, so their events — stamped with the cycle they
+		// occurred on — reach the ring one flush later, identically at
+		// every worker count.
+		n.Engine.Add(&gaugeSampler{n: n, buf: n.netBuf, period: period})
+		n.Engine.Add(telemetry.Flusher{R: p.Recorder})
+	}
 	return n, nil
 }
 

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"math/bits"
+
+	"metro/internal/core"
+	"metro/internal/telemetry"
+)
+
+// wireTelemetry attaches the flight recorder to a network under
+// construction: one shard-local buffer per router column (all cascade
+// lanes of a logical router are co-located by construction), one per
+// endpoint, and one network-scope buffer for the serialized-epilogue
+// emitters (gauge sampler, fault injector). Buffer registration order —
+// router columns stage-major, then endpoints, then the network buffer —
+// is a pure function of the topology, so the recorder's within-cycle
+// merge order is identical under the serial and parallel engines.
+//
+// The returned router tracers are indexed [stage][router]; Build tees
+// them into each lane's tracer chain.
+func wireTelemetry(n *Network, lanes [][][]*core.Router) [][]core.Tracer {
+	rec := n.Params.Recorder
+	tracers := make([][]core.Tracer, len(lanes))
+	for s := range lanes {
+		tracers[s] = make([]core.Tracer, len(lanes[s]))
+		for j := range lanes[s] {
+			tracers[s][j] = telemetry.RouterTracer(rec.NewBuf())
+		}
+	}
+	for _, ep := range n.Endpoints {
+		ep.SetTracer(telemetry.EndpointTracer(rec.NewBuf()))
+	}
+	n.netBuf = rec.NewBuf()
+	return tracers
+}
+
+// FaultSink returns the network-scope telemetry buffer serialized
+// epilogue emitters (the fault injector) record into, or nil when the
+// network was built without a Recorder.
+func (n *Network) FaultSink() *telemetry.Buf { return n.netBuf }
+
+// gaugeSampler is the per-cycle gauge emitter: port occupancy and open
+// connections per stage, endpoint queue depths, and in-flight endpoint
+// count. It registers in the serialized epilogue (plain Engine.Add), so
+// it observes the network between the sharded Evals and the commit —
+// the same quiescent window the collector uses — and only reads.
+type gaugeSampler struct {
+	n      *Network
+	buf    *telemetry.Buf
+	period uint64
+}
+
+// Eval samples every gauge when the cycle lands on the sampling period.
+//
+//metrovet:shared read-only sampler in the serialized epilogue: every sharded Eval has completed at the barrier, and nothing is mutated
+func (g *gaugeSampler) Eval(cycle uint64) {
+	if cycle%g.period != 0 {
+		return
+	}
+	for s := range g.n.Routers {
+		conns, busy := 0, 0
+		for j := range g.n.Routers[s] {
+			r := g.n.Routers[s][j]
+			conns += r.ConnectionCount()
+			busy += bits.OnesCount64(r.BackwardInUse())
+		}
+		g.buf.Emit(telemetry.Event{
+			Cycle: cycle, Src: telemetry.NetworkSource(s),
+			Kind: telemetry.EvGaugeConns, A: int32(conns),
+		})
+		g.buf.Emit(telemetry.Event{
+			Cycle: cycle, Src: telemetry.NetworkSource(s),
+			Kind: telemetry.EvGaugeBusyPorts, A: int32(busy),
+		})
+	}
+	queued, deepest, inflight := 0, 0, 0
+	for _, ep := range g.n.Endpoints {
+		q := ep.QueueLen()
+		queued += q
+		if q > deepest {
+			deepest = q
+		}
+		if ep.Busy() {
+			inflight++
+		}
+	}
+	g.buf.Emit(telemetry.Event{
+		Cycle: cycle, Src: telemetry.NetworkSource(-1),
+		Kind: telemetry.EvGaugeQueueDepth, A: int32(queued), B: int32(deepest),
+	})
+	g.buf.Emit(telemetry.Event{
+		Cycle: cycle, Src: telemetry.NetworkSource(-1),
+		Kind: telemetry.EvGaugeInFlight, A: int32(inflight),
+	})
+}
+
+// Commit implements clock.Component.
+func (g *gaugeSampler) Commit(cycle uint64) {}

@@ -54,6 +54,10 @@ type Config struct {
 	// DATA-IDLE words for that long — the paper's first DATA-IDLE use
 	// case (Section 5.1).
 	ResponderDelay func(payload []byte) int
+	// Tracer, when set, observes the message lifecycle (queued, attempt,
+	// blocked, retried, delivered...). See TraceKind for the event
+	// alphabet.
+	Tracer Tracer
 	// OnResult receives the final fate of each message this endpoint
 	// sourced.
 	OnResult func(Result)
@@ -130,6 +134,12 @@ func (e *Endpoint) AttachDeliver(ch Channel) {
 // ID returns the endpoint number.
 func (e *Endpoint) ID() int { return e.cfg.ID }
 
+// SetTracer installs (or, with nil, removes) the message-lifecycle
+// observer. Equivalent to setting Config.Tracer before New.
+//
+//metrovet:mutator network construction wiring, before the clock starts
+func (e *Endpoint) SetTracer(t Tracer) { e.cfg.Tracer = t }
+
 // Offer enqueues a message for delivery.
 //
 //metrovet:mutator traffic injection between cycles; drivers call this before Step
@@ -137,6 +147,7 @@ func (e *Endpoint) Offer(msg Message) {
 	e.queue = append(e.queue, &pending{msg: msg, res: Result{
 		Msg: msg, LastBlockedStage: -1, SuspectStage: -1,
 	}})
+	e.trace(msg.Created, TraceQueued, msg.ID, msg.Dest, 0)
 }
 
 // QueueLen reports messages waiting for an injection link.
@@ -236,6 +247,11 @@ func (e *Endpoint) finish(p *pending, delivered bool, cycle uint64) {
 	if p.res.Done == 0 {
 		p.res.Done = cycle
 	}
+	kind := TraceFailed
+	if delivered {
+		kind = TraceDelivered
+	}
+	e.trace(p.res.Done, kind, p.msg.ID, p.res.Retries, p.msg.Dest)
 	if e.cfg.OnResult != nil {
 		e.cfg.OnResult(p.res)
 	}
@@ -322,6 +338,7 @@ func (s *sender) begin(cycle uint64, p *pending) {
 	if p.res.Injected == 0 && p.res.Retries == 0 {
 		p.res.Injected = cycle
 	}
+	s.e.trace(cycle, TraceAttempt, p.msg.ID, p.res.Retries+1, 0)
 }
 
 // laneSlice projects a logical word stream onto one cascade lane: payload
@@ -380,6 +397,7 @@ func (s *sender) eval(cycle uint64) {
 	case sSending:
 		if s.link.RecvBCB() {
 			s.p.res.BlockedFast++
+			s.e.trace(cycle, TraceBlockedFast, s.p.msg.ID, 0, 0)
 			s.retryOrFail(cycle)
 			s.link.Send(word.Word{Kind: word.Drop})
 			s.state = sCooldown
@@ -391,6 +409,7 @@ func (s *sender) eval(cycle uint64) {
 		if s.idx == len(s.words) {
 			s.state = sListening
 			s.listenStart = cycle
+			s.e.trace(cycle, TraceTurnSent, s.p.msg.ID, s.p.res.Retries+1, 0)
 		}
 		return
 
@@ -399,6 +418,7 @@ func (s *sender) eval(cycle uint64) {
 		s.link.Send(word.Word{Kind: word.DataIdle})
 		if s.link.RecvBCB() {
 			s.p.res.BlockedFast++
+			s.e.trace(cycle, TraceBlockedFast, s.p.msg.ID, 0, 0)
 			s.abortNow(cycle)
 			return
 		}
@@ -411,6 +431,7 @@ func (s *sender) eval(cycle uint64) {
 			// Detailed blocked reply (or far-end close): retry.
 			s.p.res.BlockedDetailed++
 			s.p.res.LastBlockedStage = s.parse.blockedStage
+			s.e.trace(cycle, TraceBlockedDetailed, s.p.msg.ID, s.parse.blockedStage, 0)
 			p := s.p
 			s.p = nil
 			s.retryOrFailPending(p, cycle)
@@ -418,9 +439,11 @@ func (s *sender) eval(cycle uint64) {
 			s.cooldown = s.e.cfg.CloseGap
 		case s.parse.failed:
 			s.p.res.ChecksumFailures++
+			s.e.trace(cycle, TraceChecksumFail, s.p.msg.ID, 0, 0)
 			s.abortNow(cycle)
 		case cycle-s.listenStart > s.e.cfg.ListenTimeout:
 			s.p.res.Timeouts++
+			s.e.trace(cycle, TraceTimeout, s.p.msg.ID, 0, 0)
 			s.abortNow(cycle)
 		}
 	}
@@ -468,6 +491,7 @@ localize:
 		s.afterDrop = func(c uint64) { s.e.finish(p, true, c) }
 	} else {
 		p.res.ChecksumFailures++
+		s.e.trace(cycle, TraceChecksumFail, p.msg.ID, 0, 0)
 		s.afterDrop = func(c uint64) { s.retryOrFailPending(p, c) }
 	}
 }
@@ -484,6 +508,7 @@ func (s *sender) retryOrFailPending(p *pending, cycle uint64) {
 		s.e.finish(p, false, cycle)
 		return
 	}
+	s.e.trace(cycle, TraceRetried, p.msg.ID, p.res.Retries, 0)
 	s.e.retry(p)
 }
 
@@ -620,7 +645,7 @@ func (r *receiver) assemble(w word.Word, cw int, cycle uint64) {
 			r.gotCk = true
 		}
 	case word.Turn:
-		r.turn()
+		r.turn(cycle)
 	case word.Drop:
 		r.reset() // aborted before the turn; nothing to deliver
 	case word.Empty:
@@ -635,13 +660,18 @@ func (r *receiver) assemble(w word.Word, cw int, cycle uint64) {
 // and a TURN handing the channel back).
 //
 //metrovet:alloc per-message reply construction, not a per-cycle path
-func (r *receiver) turn() {
+func (r *receiver) turn(cycle uint64) {
 	var ck word.Checksum
 	for _, w := range r.payload {
 		ck.Add(w)
 	}
 	computed := ck.Sum()
 	intact := r.gotCk && computed == r.e2e
+	arrived := 0
+	if intact {
+		arrived = 1
+	}
+	r.e.trace(cycle, TraceArrived, 0, arrived, 0)
 	flags := word.StatusDest
 	if !intact {
 		flags |= word.StatusNack

@@ -1,0 +1,93 @@
+package nic
+
+import "fmt"
+
+// TraceKind enumerates the message-lifecycle events an endpoint reports:
+// the observable protocol trajectory of one message from Offer to its
+// final Delivered/Failed disposition, plus the destination-side TURN
+// verification. The a/b arguments of Tracer.Message are kind-specific
+// and documented per constant.
+type TraceKind uint8
+
+const (
+	// TraceQueued: the message entered the endpoint's send queue
+	// (cycle = Message.Created). a = destination endpoint.
+	TraceQueued TraceKind = iota
+	// TraceAttempt: a transmission attempt started on an injection link.
+	// a = attempt number (1-based).
+	TraceAttempt
+	// TraceTurnSent: the stream — header, payload, checksum, TURN — is
+	// fully transmitted; the sender is now listening. a = attempt number.
+	TraceTurnSent
+	// TraceBlockedFast: the attempt died to backward-channel-busy (fast
+	// path reclamation) during send or listen.
+	TraceBlockedFast
+	// TraceBlockedDetailed: a detailed blocked reply (or far-end close)
+	// ended the attempt. a = blocking stage, -1 when unknown.
+	TraceBlockedDetailed
+	// TraceChecksumFail: reply verification failed — a corrupted reply
+	// stream, a NACKed delivery, or an end-to-end checksum mismatch.
+	TraceChecksumFail
+	// TraceTimeout: the per-attempt reply watchdog expired.
+	TraceTimeout
+	// TraceRetried: the message went back on the send queue.
+	// a = retries so far.
+	TraceRetried
+	// TraceDelivered: final disposition, message delivered and verified.
+	// a = total retries, b = destination endpoint.
+	TraceDelivered
+	// TraceFailed: final disposition, retry budget exhausted.
+	// a = total retries, b = destination endpoint.
+	TraceFailed
+	// TraceArrived: destination side — a TURN arrived and the message
+	// was verified (the receiver does not know message IDs, so id = 0).
+	// a = 1 when intact, 0 when corrupt.
+	TraceArrived
+)
+
+var traceKindNames = [...]string{
+	TraceQueued:          "QUEUED",
+	TraceAttempt:         "ATTEMPT",
+	TraceTurnSent:        "TURN-SENT",
+	TraceBlockedFast:     "BLOCKED-FAST",
+	TraceBlockedDetailed: "BLOCKED-DETAILED",
+	TraceChecksumFail:    "CHECKSUM-FAIL",
+	TraceTimeout:         "TIMEOUT",
+	TraceRetried:         "RETRIED",
+	TraceDelivered:       "DELIVERED",
+	TraceFailed:          "FAILED",
+	TraceArrived:         "ARRIVED",
+}
+
+// String returns the event mnemonic for traces and test failures.
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("TraceKind(%d)", uint8(k))
+}
+
+// Tracer observes the message lifecycle at an endpoint. Message is
+// invoked during Eval (and from Offer for TraceQueued); implementations
+// must not mutate simulation state and must not allocate if the
+// enclosing simulation is to stay zero-alloc per cycle. A nil tracer
+// disables tracing at zero cost beyond one branch per event site.
+type Tracer interface {
+	// Message reports one lifecycle event for message id at endpoint ep.
+	// The meaning of a and b depends on kind; see the TraceKind
+	// constants.
+	Message(cycle uint64, ep int, kind TraceKind, id uint64, a, b int)
+}
+
+// NopTracer is a Tracer that ignores all events.
+type NopTracer struct{}
+
+// Message implements Tracer.
+func (NopTracer) Message(uint64, int, TraceKind, uint64, int, int) {}
+
+// trace forwards one event to the configured tracer, if any.
+func (e *Endpoint) trace(cycle uint64, kind TraceKind, id uint64, a, b int) {
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Message(cycle, e.cfg.ID, kind, id, a, b)
+	}
+}

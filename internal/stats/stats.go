@@ -189,43 +189,66 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Histogram renders the sample's distribution as a fixed-bucket text
-// histogram with proportional bars, for terminal experiment output.
-func (s *Sample) Histogram(buckets, barWidth int) string {
-	if len(s.values) == 0 || buckets < 1 {
-		return "(no samples)\n"
+// Bucket is one equal-width histogram bin over [Lo, Hi).
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Buckets partitions the sample range into n equal-width bins and counts
+// the samples in each — the data behind Histogram, exposed for exporters
+// (CSV histograms, plotting scripts). A degenerate sample (empty, or all
+// values equal) returns a single bucket.
+func (s *Sample) Buckets(n int) []Bucket {
+	if len(s.values) == 0 || n < 1 {
+		return nil
 	}
 	lo, hi := s.Min(), s.Max()
 	if hi == lo {
-		return fmt.Sprintf("%10.1f  all %d samples\n", lo, len(s.values))
+		return []Bucket{{Lo: lo, Hi: hi, Count: len(s.values)}}
 	}
-	span := (hi - lo) / float64(buckets)
-	counts := make([]int, buckets)
+	span := (hi - lo) / float64(n)
+	out := make([]Bucket, n)
+	for i := range out {
+		out[i] = Bucket{Lo: lo + float64(i)*span, Hi: lo + float64(i+1)*span}
+	}
 	for _, v := range s.values {
 		b := int((v - lo) / span)
-		if b >= buckets {
-			b = buckets - 1
+		if b >= n {
+			b = n - 1
 		}
-		counts[b]++
+		out[b].Count++
+	}
+	return out
+}
+
+// Histogram renders the sample's distribution as a fixed-bucket text
+// histogram with proportional bars, for terminal experiment output.
+func (s *Sample) Histogram(buckets, barWidth int) string {
+	bins := s.Buckets(buckets)
+	if bins == nil {
+		return "(no samples)\n"
+	}
+	if len(bins) == 1 && bins[0].Lo == bins[0].Hi {
+		return fmt.Sprintf("%10.1f  all %d samples\n", bins[0].Lo, bins[0].Count)
 	}
 	maxCount := 0
-	for _, c := range counts {
-		if c > maxCount {
-			maxCount = c
+	for _, bin := range bins {
+		if bin.Count > maxCount {
+			maxCount = bin.Count
 		}
 	}
 	var b strings.Builder
-	for i, c := range counts {
+	for _, bin := range bins {
 		bar := ""
 		if maxCount > 0 && barWidth > 0 {
-			n := c * barWidth / maxCount
-			if c > 0 && n == 0 {
+			n := bin.Count * barWidth / maxCount
+			if bin.Count > 0 && n == 0 {
 				n = 1
 			}
 			bar = strings.Repeat("#", n)
 		}
-		fmt.Fprintf(&b, "%10.1f..%-10.1f %6d %s\n",
-			lo+float64(i)*span, lo+float64(i+1)*span, c, bar)
+		fmt.Fprintf(&b, "%10.1f..%-10.1f %6d %s\n", bin.Lo, bin.Hi, bin.Count, bar)
 	}
 	return b.String()
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gates skip under it because instrumentation allocates.
+const raceEnabled = false

@@ -1,0 +1,144 @@
+package telemetry
+
+// Buf is a shard-local event buffer. Every emitter group that may run on
+// its own engine shard (a router column, an endpoint, the network-scope
+// epilogue emitters) appends into its own Buf during Eval — no locks, no
+// cross-shard traffic — and the Recorder drains every Buf in its fixed
+// registration order at the cycle barrier. Because the drain order is a
+// pure function of network construction (never of goroutine timing), the
+// merged stream is identical under the serial and parallel engines.
+//
+// Emit may grow the buffer's backing array while the simulation warms
+// up; once the high-water mark is reached the append stays within
+// capacity and the recording path allocates nothing.
+type Buf struct {
+	events []Event
+}
+
+// Emit appends one event.
+//
+//metrovet:alloc amortized growth to the per-cycle high-water mark; steady state appends within capacity
+func (b *Buf) Emit(e Event) {
+	b.events = append(b.events, e)
+}
+
+// Len reports buffered events not yet drained.
+func (b *Buf) Len() int { return len(b.events) }
+
+// Options configures a Recorder.
+type Options struct {
+	// Capacity bounds the flight-recorder ring in events; when full, the
+	// oldest events are overwritten. 0 selects DefaultCapacity.
+	Capacity int
+}
+
+// DefaultCapacity is the flight-recorder ring size when Options.Capacity
+// is 0: large enough to hold the full event stream of the repo's
+// standard experiment runs, small enough to stay cheap (24 B/event).
+const DefaultCapacity = 1 << 18
+
+// Recorder is the flight recorder: a bounded ring of the most recent
+// events, fed by per-shard Bufs. NewBuf registers buffers at network
+// construction time; Flush (driven by a Flusher component in the
+// engine's serialized epilogue) drains them in registration order.
+//
+// The ring and every Buf are preallocated or grow only to the workload's
+// high-water mark, so steady-state recording is allocation-free — the
+// zero-alloc gate in this package proves it.
+type Recorder struct {
+	ring  []Event
+	head  int    // next write position
+	count int    // live events in the ring
+	total uint64 // events ever recorded, including overwritten ones
+	bufs  []*Buf
+}
+
+// New constructs a Recorder with a preallocated ring.
+func New(opts Options) *Recorder {
+	c := opts.Capacity
+	if c <= 0 {
+		c = DefaultCapacity
+	}
+	return &Recorder{ring: make([]Event, c)}
+}
+
+// NewBuf registers and returns a new shard-local buffer. Registration
+// order defines the within-cycle merge order of the recorded stream, so
+// callers must register in a deterministic order (netsim registers
+// router columns stage-major, then endpoints, then the network buf).
+//
+//metrovet:mutator network construction wiring, before the clock starts
+func (r *Recorder) NewBuf() *Buf {
+	b := &Buf{events: make([]Event, 0, 64)}
+	r.bufs = append(r.bufs, b)
+	return b
+}
+
+// Flush drains every registered Buf, in registration order, into the
+// ring. A Flusher component calls it once per cycle at the barrier.
+func (r *Recorder) Flush() {
+	for _, b := range r.bufs {
+		for i := range b.events {
+			r.ring[r.head] = b.events[i]
+			r.head++
+			if r.head == len(r.ring) {
+				r.head = 0
+			}
+			if r.count < len(r.ring) {
+				r.count++
+			}
+		}
+		r.total += uint64(len(b.events))
+		b.events = b.events[:0]
+	}
+}
+
+// Len reports live events in the ring.
+func (r *Recorder) Len() int { return r.count }
+
+// Capacity reports the ring size.
+func (r *Recorder) Capacity() int { return len(r.ring) }
+
+// Total reports events ever recorded, including those the ring has since
+// overwritten.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Dropped reports events lost to ring overwrite.
+func (r *Recorder) Dropped() uint64 { return r.total - uint64(r.count) }
+
+// Snapshot copies the live ring contents, oldest first, together with
+// the lifetime totals. Pending (unflushed) Buf events are not included;
+// snapshot between cycles or after a final Flush.
+func (r *Recorder) Snapshot() Trace {
+	out := make([]Event, r.count)
+	start := r.head - r.count
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.count; i++ {
+		out[i] = r.ring[(start+i)%len(r.ring)]
+	}
+	return Trace{Events: out, Total: r.total}
+}
+
+// Trace is a recorded event stream: the flight recorder's live window
+// plus the lifetime event count (Total - len(Events) were overwritten).
+type Trace struct {
+	Events []Event
+	Total  uint64
+}
+
+// Flusher adapts a Recorder to the simulation clock. Register it with
+// plain Engine.Add after every sharded component (netsim does this
+// during Build): under the parallel engine it then runs in the
+// serialized epilogue, after the barrier, where every shard's Buf is
+// quiescent.
+type Flusher struct {
+	R *Recorder
+}
+
+// Eval implements clock.Component.
+func (f Flusher) Eval(cycle uint64) { f.R.Flush() }
+
+// Commit implements clock.Component.
+func (f Flusher) Commit(cycle uint64) {}
