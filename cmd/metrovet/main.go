@@ -14,13 +14,26 @@
 //
 //	-baseline file        read accepted findings from file
 //	-write-baseline file  write current findings to file and exit 0
+//	                      (refuses to overwrite an existing file
+//	                      without -force)
+//	-force                allow -write-baseline to overwrite
+//	-json                 emit findings as the metrovet JSON report
+//	-sarif                emit findings as a SARIF 2.1.0 log
+//	-cache dir            keep an incremental analysis cache in dir,
+//	                      keyed by file content hashes; unchanged trees
+//	                      skip type-checking entirely
 //	-rules                print the rule set and exit
 //	-machines             print the extracted protocol state machines
 //	-write-machines dir   write the extracted machine tables to dir
 //	-check-machines dir   diff the extracted tables against dir, exit 1
 //	                      on any difference (the CI golden gate)
-//	-v                    also print type-checker diagnostics (normally
-//	                      silent: a tree that builds has none)
+//	-v                    also print type-checker diagnostics and cache
+//	                      status (normally silent: a tree that builds
+//	                      has none)
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or internal error. The -json
+// and -sarif documents are byte-stable for a given tree and are pinned
+// by golden tests.
 package main
 
 import (
@@ -35,59 +48,68 @@ import (
 func main() {
 	baselinePath := flag.String("baseline", "", "read accepted findings from `file`")
 	writeBaseline := flag.String("write-baseline", "", "write current findings to `file` and exit 0")
+	force := flag.Bool("force", false, "allow -write-baseline to overwrite an existing file")
+	jsonOut := flag.Bool("json", false, "emit findings as the metrovet JSON report")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	cacheDir := flag.String("cache", "", "keep an incremental analysis cache in `dir`")
 	listRules := flag.Bool("rules", false, "print the rule set and exit")
 	printMachines := flag.Bool("machines", false, "print the extracted protocol state machines")
 	writeMachines := flag.String("write-machines", "", "write extracted machine tables to `dir`")
 	checkMachines := flag.String("check-machines", "", "diff extracted tables against `dir`, exit 1 on any difference")
-	verbose := flag.Bool("v", false, "print type-checker diagnostics")
+	verbose := flag.Bool("v", false, "print type-checker diagnostics and cache status")
 	flag.Parse()
 
 	if *listRules {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-6s %-22s %s\n", analysis.RuleID(a.Name), a.Name, a.Doc)
 		}
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fatal(fmt.Errorf("-json and -sarif are mutually exclusive"))
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
 		fatal(err)
 	}
-	loader, err := analysis.NewLoader(root)
-	if err != nil {
-		fatal(err)
-	}
 
 	if *printMachines || *writeMachines != "" || *checkMachines != "" {
+		loader, err := analysis.NewLoader(root)
+		if err != nil {
+			fatal(err)
+		}
 		runMachines(loader, *printMachines, *writeMachines, *checkMachines)
 		return
 	}
-	pkgs, err := loader.Load(flag.Args()...)
+
+	res, err := analysis.RunTree(root, analysis.TreeOptions{
+		Patterns: flag.Args(),
+		CacheDir: *cacheDir,
+	})
 	if err != nil {
 		fatal(err)
 	}
-
-	var findings []analysis.Finding
-	for _, p := range pkgs {
-		if *verbose {
-			for _, terr := range p.TypeErrs {
-				fmt.Fprintf(os.Stderr, "metrovet: %s: typecheck: %v\n", p.ImportPath, terr)
+	if *verbose {
+		for _, terr := range res.TypeErrs {
+			fmt.Fprintf(os.Stderr, "metrovet: typecheck: %s\n", terr)
+		}
+		if *cacheDir != "" {
+			if res.FullHit {
+				fmt.Fprintln(os.Stderr, "metrovet: cache: full hit")
+			} else {
+				fmt.Fprintf(os.Stderr, "metrovet: cache: %d/%d package hit(s)\n", res.PkgHits, res.Packages)
 			}
 		}
-		for _, a := range analysis.Analyzers() {
-			findings = append(findings, a.Run(p)...)
-		}
 	}
-	// Report module-relative paths so baselines and CI logs are stable
-	// across checkouts.
-	for i := range findings {
-		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
-			findings[i].Pos.Filename = filepath.ToSlash(rel)
-		}
-	}
-	analysis.SortFindings(findings)
+	findings := res.Findings
 
 	if *writeBaseline != "" {
+		if !*force {
+			if _, err := os.Stat(*writeBaseline); err == nil {
+				fatal(fmt.Errorf("%s exists; pass -force to overwrite it", *writeBaseline))
+			}
+		}
 		f, err := os.Create(*writeBaseline)
 		if err != nil {
 			fatal(err)
@@ -109,8 +131,19 @@ func main() {
 		findings = base.Filter(findings)
 	}
 
-	for _, f := range findings {
-		fmt.Println(f)
+	switch {
+	case *jsonOut:
+		if err := analysis.EncodeJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	case *sarifOut:
+		if err := analysis.EncodeSARIF(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "metrovet: %d finding(s)\n", len(findings))

@@ -1,10 +1,20 @@
 package main_test
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"metro/internal/analysis"
 	"metro/internal/clitest"
 )
+
+// badpkg is the deliberately non-conforming fixture package. It sits
+// under testdata/ so recursive walks (go build, metrovet ./...) never
+// see it; only this explicit, module-root-relative pattern reaches it.
+const badpkg = "./cmd/metrovet/testdata/src/internal/badpkg"
 
 // TestGoldenRules pins the -rules listing: the rule names are the
 // annotation vocabulary (//metrovet:alloc etc.) the rest of the tree
@@ -23,5 +33,138 @@ func TestCleanPackagePasses(t *testing.T) {
 	out := clitest.Run(t, "metrovet", "./internal/word")
 	if len(out) != 0 {
 		t.Fatalf("metrovet reported findings on a clean package:\n%s", out)
+	}
+}
+
+// TestSelfHost is the self-hosting gate: the analyzer source and its
+// driver must satisfy every rule they enforce on the simulator.
+func TestSelfHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	out := clitest.Run(t, "metrovet", "./internal/analysis", "./cmd/metrovet")
+	if len(out) != 0 {
+		t.Fatalf("metrovet does not self-host cleanly:\n%s", out)
+	}
+}
+
+// The badpkg goldens pin all three emitters on the same fixture run —
+// text, JSON report, and SARIF log — including the findings exit code.
+func TestGoldenBadpkgText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	out := clitest.ExitCode(t, 1, "metrovet", badpkg)
+	clitest.GoldenBytes(t, "badpkg-text", out)
+}
+
+func TestGoldenBadpkgJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	one := clitest.ExitCode(t, 1, "metrovet", "-json", badpkg)
+	two := clitest.ExitCode(t, 1, "metrovet", "-json", badpkg)
+	if !bytes.Equal(one, two) {
+		t.Fatal("-json output is not byte-stable across runs")
+	}
+	clitest.GoldenBytes(t, "badpkg-json", one)
+}
+
+func TestGoldenBadpkgSARIF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	one := clitest.ExitCode(t, 1, "metrovet", "-sarif", badpkg)
+	two := clitest.ExitCode(t, 1, "metrovet", "-sarif", badpkg)
+	if !bytes.Equal(one, two) {
+		t.Fatal("-sarif output is not byte-stable across runs")
+	}
+	clitest.GoldenBytes(t, "badpkg-sarif", one)
+}
+
+// TestExclusiveOutputFlags pins the usage-error exit code for the
+// impossible flag combination.
+func TestExclusiveOutputFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	out := clitest.ExitCode(t, 2, "metrovet", "-json", "-sarif", badpkg)
+	if !strings.Contains(string(out), "mutually exclusive") {
+		t.Fatalf("usage error should name the conflict:\n%s", out)
+	}
+}
+
+// TestCacheMissThenHit drives the incremental cache through a cold miss
+// and a warm full hit, asserting the two runs are byte-identical (cache
+// state must never change what the tool reports) and that -v narrates
+// the hit.
+func TestCacheMissThenHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	cacheDir := filepath.Join(t.TempDir(), "vetcache")
+	cold := clitest.ExitCode(t, 1, "metrovet", "-cache", cacheDir, "-json", badpkg)
+	warm := clitest.ExitCode(t, 1, "metrovet", "-cache", cacheDir, "-json", badpkg)
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm cache run differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	clitest.GoldenBytes(t, "badpkg-json", cold) // same document as the uncached run
+
+	verbose := clitest.ExitCode(t, 1, "metrovet", "-cache", cacheDir, "-v", badpkg)
+	if !strings.Contains(string(verbose), "cache: full hit") {
+		t.Fatalf("-v on an unchanged tree should report a full hit:\n%s", verbose)
+	}
+}
+
+// TestWriteBaselineRefusesClobber pins the -write-baseline safety rail:
+// overwriting an existing baseline requires -force.
+func TestWriteBaselineRefusesClobber(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	clitest.ExitCode(t, 0, "metrovet", "-write-baseline", path, badpkg)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := clitest.ExitCode(t, 2, "metrovet", "-write-baseline", path, badpkg)
+	if !strings.Contains(string(out), "-force") {
+		t.Fatalf("clobber refusal should mention -force:\n%s", out)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("refused overwrite must leave the baseline untouched")
+	}
+
+	clitest.ExitCode(t, 0, "metrovet", "-write-baseline", path, "-force", badpkg)
+	// And the baseline it wrote absorbs the findings it was written from.
+	out = clitest.ExitCode(t, 0, "metrovet", "-baseline", path, badpkg)
+	if len(out) != 0 {
+		t.Fatalf("baselined run should be silent:\n%s", out)
+	}
+}
+
+// BenchmarkMetrovetWholeTree measures the full-repository analysis the
+// CI gate runs: load, type-check, and every rule including the
+// interprocedural ones, with no cache. perf/BENCH_2.json records this.
+func BenchmarkMetrovetWholeTree(b *testing.B) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.RunTree(root, analysis.TreeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Findings) != 0 {
+			b.Fatalf("whole tree is expected to be clean, got %d finding(s)", len(res.Findings))
+		}
 	}
 }

@@ -1,0 +1,24 @@
+// Package badpkg is a deliberately non-conforming fixture: the golden
+// tests for metrovet's -json/-sarif emitters and the incremental cache
+// point the tool at this package. It lives under a testdata directory so
+// the Go toolchain and metrovet's own recursive tree walks both skip it;
+// only an explicit pattern reaches it.
+package badpkg
+
+var hits int
+
+// Gadget is a component whose Eval breaks the discipline on purpose: it
+// allocates per cycle and, two call frames down, increments package-level
+// state shared across every shard.
+type Gadget struct{ buf []int }
+
+func (g *Gadget) Eval(cycle uint64) {
+	g.buf = make([]int, 8)
+	bump()
+}
+
+func (g *Gadget) Commit(cycle uint64) {}
+
+func bump() { count() }
+
+func count() { hits++ }

@@ -56,11 +56,17 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
 }
 
-// Analyzer is one named rule of the metrovet pass.
+// Analyzer is one named rule of the metrovet pass. Run analyzes one
+// package at a time and is always set (whole-program rules analyze a
+// single-package program through it, which is what the fixture tests
+// exercise). RunProgram, when set, marks a whole-program rule: the
+// driver calls it once with every loaded package, so the rule sees the
+// interprocedural call graph instead of one package's slice of it.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Package) []Finding
+	Name       string
+	Doc        string
+	Run        func(*Package) []Finding
+	RunProgram func(*Program) []Finding
 }
 
 // Analyzers returns the full rule set in reporting order.
@@ -74,6 +80,7 @@ func Analyzers() []*Analyzer {
 		EnumSwitch(),
 		HotPathAlloc(),
 		EvalIsolation(),
+		ShardPurity(),
 	}
 }
 
@@ -290,7 +297,9 @@ func docDirective(doc *ast.CommentGroup, kind string) bool {
 	return false
 }
 
-// SortFindings orders findings by file, line, then rule for stable output.
+// SortFindings orders findings by (file, line, column, rule, message)
+// for stable output: every emitter sorts through this one comparator, so
+// text, JSON, SARIF and cache encodings all agree on order.
 func SortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
@@ -300,6 +309,12 @@ func SortFindings(fs []Finding) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 }

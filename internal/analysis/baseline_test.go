@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -24,6 +26,37 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 	if rest := base.Filter(findings); len(rest) != 0 {
 		t.Fatalf("round-tripped baseline should absorb all findings, kept %v", rest)
+	}
+
+	// The same round trip through an actual file: WriteBaseline to disk,
+	// ReadBaseline back, and the re-rendered bytes are identical.
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBaseline(f, findings); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromDisk) != len(base) {
+		t.Fatalf("file round trip lost entries: %d vs %d", len(fromDisk), len(base))
+	}
+	if rest := fromDisk.Filter(findings); len(rest) != 0 {
+		t.Fatalf("file round trip should absorb all findings, kept %v", rest)
+	}
+	var again strings.Builder
+	if err := WriteBaseline(&again, findings); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Fatal("WriteBaseline output is not byte-stable")
 	}
 }
 

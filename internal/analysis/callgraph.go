@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// EdgeKind classifies how a call-graph edge was resolved.
+type EdgeKind uint8
+
+const (
+	// EdgeStatic is a direct call: a plain function call, a
+	// package-qualified call, or a method call on a concrete type.
+	EdgeStatic EdgeKind = iota
+	// EdgeRef is a function or method referenced as a value (a method
+	// value passed to an engine, a func stored for later). The analyzers
+	// treat a reference as a potential call from the referencing
+	// function: whoever eventually invokes it does so on the
+	// referencer's behalf.
+	EdgeRef
+	// EdgeIface is an interface-dispatched call resolved CHA-style: the
+	// edge targets one concrete implementation of the interface's
+	// method, and a call site fans out one edge per implementer.
+	EdgeIface
+)
+
+// String names the edge kind for tests and debugging.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeRef:
+		return "ref"
+	case EdgeIface:
+		return "iface"
+	}
+	return "unknown"
+}
+
+// CallEdge is one resolved outgoing edge of a function.
+type CallEdge struct {
+	Callee *FuncNode
+	Kind   EdgeKind
+	Pos    token.Pos
+	// IfaceRecv is the CHA-resolved concrete receiver type for
+	// EdgeIface edges, nil otherwise.
+	IfaceRecv *types.Named
+	// IfaceName is the declared interface the call dispatches through
+	// ("clock.Component"), for finding messages. Empty otherwise.
+	IfaceName string
+}
+
+// CallGraph is the whole-program call graph: for every indexed
+// function, the outgoing edges the analyzers can resolve statically.
+// Calls through func-typed fields and variables are not edges — the
+// callee is unknowable without pointer analysis — and calls into
+// packages outside the program (the standard library) have no body to
+// target. Edges appear in source order; CHA fan-outs are sorted by
+// (package, type), so the graph is deterministic for a given tree.
+type CallGraph struct {
+	prog  *Program
+	Edges map[*FuncNode][]CallEdge
+}
+
+// BuildCallGraph walks every indexed declaration once and resolves its
+// outgoing edges. Function literals are attributed to their enclosing
+// declaration: a closure's calls happen on behalf of whoever declared
+// (and captured state for) it.
+func BuildCallGraph(prog *Program) *CallGraph {
+	cg := &CallGraph{prog: prog, Edges: map[*FuncNode][]CallEdge{}}
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := declKey(p, fd)
+				node := prog.funcs[key]
+				if node == nil || node.Decl != fd {
+					continue
+				}
+				cg.Edges[node] = cg.edgesOf(p, fd)
+			}
+		}
+	}
+	return cg
+}
+
+// edgesOf resolves the outgoing edges of one declaration.
+func (cg *CallGraph) edgesOf(p *Package, fd *ast.FuncDecl) []CallEdge {
+	var out []CallEdge
+	// callFuns marks expressions in call position (a bare reference to
+	// the same function elsewhere is a value use, not a second call);
+	// selNames marks the Sel half of every selector, which the walk
+	// handles at the SelectorExpr level and must not re-resolve as a
+	// bare identifier.
+	callFuns := map[ast.Expr]bool{}
+	selNames := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			callFuns[ast.Unparen(e.Fun)] = true
+		case *ast.SelectorExpr:
+			selNames[e.Sel] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			out = append(out, cg.callEdges(p, e)...)
+		case *ast.Ident:
+			if callFuns[ast.Expr(e)] || selNames[e] {
+				return true
+			}
+			if fn, ok := p.ObjectOf(e).(*types.Func); ok {
+				if target := cg.prog.nodeFor(fn); target != nil {
+					out = append(out, CallEdge{Callee: target, Kind: EdgeRef, Pos: e.Pos()})
+				}
+			}
+		case *ast.SelectorExpr:
+			if callFuns[ast.Expr(e)] {
+				// Still descend: the receiver expression may itself
+				// contain calls or references.
+				return true
+			}
+			// A method value (r.Eval passed as a func) is a reference
+			// edge; through an interface it fans out like a call.
+			if sel := selectionOf(p, e); sel != nil && sel.Kind() == types.MethodVal {
+				out = append(out, cg.methodEdges(p, e, EdgeRef)...)
+			} else if fn, ok := p.ObjectOf(e.Sel).(*types.Func); ok {
+				if target := cg.prog.nodeFor(fn); target != nil {
+					out = append(out, CallEdge{Callee: target, Kind: EdgeRef, Pos: e.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// callEdges resolves one call expression to its edges.
+func (cg *CallGraph) callEdges(p *Package, call *ast.CallExpr) []CallEdge {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.ObjectOf(fun).(*types.Func); ok {
+			if target := cg.prog.nodeFor(fn); target != nil {
+				return []CallEdge{{Callee: target, Kind: EdgeStatic, Pos: call.Pos()}}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel := selectionOf(p, fun); sel != nil && sel.Kind() == types.MethodVal {
+			return cg.methodEdges(p, fun, EdgeStatic)
+		}
+		// Package-qualified function (pkg.F) — not a method, not a
+		// func-typed field (those resolve to *types.Var and are
+		// untraceable).
+		if fn, ok := p.ObjectOf(fun.Sel).(*types.Func); ok {
+			if target := cg.prog.nodeFor(fn); target != nil {
+				return []CallEdge{{Callee: target, Kind: EdgeStatic, Pos: call.Pos()}}
+			}
+		}
+	}
+	return nil
+}
+
+// methodEdges resolves a method selection: concrete receivers bind
+// statically; interface receivers fan out CHA-style to every
+// implementation declared in the program's internal packages, provided
+// the interface itself is declared in a loaded package (dispatch
+// through stdlib interfaces — error, fmt.Stringer — stays opaque).
+func (cg *CallGraph) methodEdges(p *Package, fun *ast.SelectorExpr, kind EdgeKind) []CallEdge {
+	recvType := p.TypeOf(fun.X)
+	if recvType == nil {
+		return nil
+	}
+	if !types.IsInterface(recvType) {
+		if fn, ok := p.ObjectOf(fun.Sel).(*types.Func); ok {
+			if target := cg.prog.nodeFor(fn); target != nil {
+				return []CallEdge{{Callee: target, Kind: kind, Pos: fun.Pos()}}
+			}
+		}
+		return nil
+	}
+	named := namedTypeOf(recvType)
+	if named == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if cg.prog.byPath[named.Obj().Pkg().Path()] == nil {
+		return nil
+	}
+	iface, ok := recvType.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	ifaceName := internalName(named.Obj().Pkg().Path())
+	if ifaceName == "" {
+		ifaceName = named.Obj().Pkg().Name()
+	}
+	ifaceName += "." + named.Obj().Name()
+	var out []CallEdge
+	for _, impl := range cg.prog.implementersOf(iface) {
+		target := cg.prog.methodNodeOf(impl, fun.Sel.Name)
+		if target == nil {
+			continue
+		}
+		out = append(out, CallEdge{
+			Callee: target, Kind: EdgeIface, Pos: fun.Pos(),
+			IfaceRecv: impl, IfaceName: ifaceName,
+		})
+	}
+	return out
+}
+
+// selectionOf looks up a selector's resolved selection in whichever
+// check unit covers it.
+func selectionOf(p *Package, sel *ast.SelectorExpr) *types.Selection {
+	for _, info := range []*types.Info{p.Info, p.XInfo} {
+		if info == nil {
+			continue
+		}
+		if s, ok := info.Selections[sel]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// RootedNode seeds a reachability walk: a function plus the
+// human-readable root it represents ("(*Router).Eval") and,
+// optionally, the root component's type name (for own-type
+// exemptions).
+type RootedNode struct {
+	Node *FuncNode
+	Root string
+	Type string
+	// Kind is a free-form root class ("component", "sink") the analyzer
+	// can vary its finding message on.
+	Kind string
+}
+
+// RootInfo records which root first reached a function.
+type RootInfo struct {
+	Root string
+	// Type is the root component's type name (RootedNode.Type).
+	Type string
+	// Kind is the root class (RootedNode.Kind).
+	Kind string
+	// Via is the interface name when the first reaching edge was
+	// CHA-dispatched ("" otherwise) — it tells the reader why a
+	// seemingly unrelated method is in an Eval tree.
+	Via string
+}
+
+// Reachable walks the graph breadth-first from roots (in the given
+// order) and returns, for every reached function, the first root that
+// reached it. follow filters edges; a nil filter follows everything.
+func (cg *CallGraph) Reachable(roots []RootedNode, follow func(CallEdge) bool) map[*FuncNode]RootInfo {
+	reached := map[*FuncNode]RootInfo{}
+	type item struct {
+		node *FuncNode
+		info RootInfo
+	}
+	var queue []item
+	for _, r := range roots {
+		if r.Node != nil {
+			queue = append(queue, item{r.Node, RootInfo{Root: r.Root, Type: r.Type, Kind: r.Kind}})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, seen := reached[cur.node]; seen {
+			continue
+		}
+		reached[cur.node] = cur.info
+		for _, e := range cg.Edges[cur.node] {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			next := cur.info
+			if e.Kind == EdgeIface && next.Via == "" {
+				next.Via = e.IfaceName
+			}
+			queue = append(queue, item{e.Callee, next})
+		}
+	}
+	return reached
+}
+
+// reachedNodes returns a reached set's nodes sorted by key, for
+// deterministic reporting order.
+func reachedNodes(reached map[*FuncNode]RootInfo) []*FuncNode {
+	nodes := make([]*FuncNode, 0, len(reached))
+	for node := range reached {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Key < nodes[j].Key })
+	return nodes
+}

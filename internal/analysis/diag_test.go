@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func diagFixtureFindings() []Finding {
+	mk := func(file string, line, col int, rule, msg string) Finding {
+		return Finding{
+			Pos:  token.Position{Filename: file, Line: line, Column: col},
+			Rule: rule,
+			Msg:  msg,
+		}
+	}
+	return []Finding{
+		mk("internal/core/router.go", 42, 7, "shard-purity", "write to package-level state total"),
+		mk("internal/core/router.go", 42, 3, "hot-path-alloc", "make allocates"),
+		mk("internal/nic/endpoint.go", 9, 1, "no-wallclock", "time.Now in simulator code"),
+	}
+}
+
+func TestEveryAnalyzerHasStableID(t *testing.T) {
+	seen := map[string]string{}
+	for _, a := range Analyzers() {
+		id := RuleID(a.Name)
+		if id == "MV000" {
+			t.Errorf("analyzer %q has no MVnnn entry in ruleIDs", a.Name)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Errorf("ID %s assigned to both %q and %q", id, prev, a.Name)
+		}
+		seen[id] = a.Name
+	}
+	if got := RuleID("shard-purity"); got != "MV009" {
+		t.Errorf("shard-purity ID = %s, want MV009", got)
+	}
+}
+
+func TestSortFindingsDeterministic(t *testing.T) {
+	fs := diagFixtureFindings()
+	SortFindings(fs)
+	// Same file and line sort by column; files sort lexically.
+	want := []struct {
+		file string
+		col  int
+	}{
+		{"internal/core/router.go", 3},
+		{"internal/core/router.go", 7},
+		{"internal/nic/endpoint.go", 1},
+	}
+	for i, w := range want {
+		if fs[i].Pos.Filename != w.file || fs[i].Pos.Column != w.col {
+			t.Errorf("order[%d] = %s col %d, want %s col %d",
+				i, fs[i].Pos.Filename, fs[i].Pos.Column, w.file, w.col)
+		}
+	}
+	// Shuffled input converges to the same order.
+	shuffled := []Finding{fs[2], fs[0], fs[1]}
+	SortFindings(shuffled)
+	for i := range fs {
+		if shuffled[i] != fs[i] {
+			t.Fatalf("sort is input-order dependent at %d", i)
+		}
+	}
+}
+
+func TestFingerprintLineIndependent(t *testing.T) {
+	a := diagFixtureFindings()[0]
+	b := a
+	b.Pos.Line, b.Pos.Column = 999, 1
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("fingerprint must not depend on position within the file")
+	}
+	c := a
+	c.Msg = "different"
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("fingerprint must depend on the message")
+	}
+}
+
+func TestEncodeJSONByteStable(t *testing.T) {
+	fs := diagFixtureFindings()
+	SortFindings(fs)
+	var one, two bytes.Buffer
+	if err := EncodeJSON(&one, fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeJSON(&two, fs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Error("EncodeJSON is not byte-stable across calls")
+	}
+	var doc struct {
+		Version  int           `json:"version"`
+		Count    int           `json:"count"`
+		Findings []FindingJSON `json:"findings"`
+	}
+	if err := json.Unmarshal(one.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Count != 3 || len(doc.Findings) != 3 {
+		t.Fatalf("count = %d, findings = %d, want 3", doc.Count, len(doc.Findings))
+	}
+	if doc.Findings[0].ID != "MV007" || doc.Findings[0].Col != 3 {
+		t.Errorf("first finding = %+v, want MV007 at col 3", doc.Findings[0])
+	}
+	if doc.Findings[0].Fingerprint == "" {
+		t.Error("fingerprint missing from JSON finding")
+	}
+
+	// Empty finding lists render an empty array, not null.
+	one.Reset()
+	if err := EncodeJSON(&one, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(one.String(), "null") {
+		t.Errorf("empty report must not contain null:\n%s", one.String())
+	}
+}
+
+func TestEncodeSARIFByteStable(t *testing.T) {
+	fs := diagFixtureFindings()
+	SortFindings(fs)
+	var one, two bytes.Buffer
+	if err := EncodeSARIF(&one, fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeSARIF(&two, fs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Error("EncodeSARIF is not byte-stable across calls")
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Locations []struct {
+					PhysicalLocation struct {
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(one.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 with one run", doc.Version, len(doc.Runs))
+	}
+	if got := len(doc.Runs[0].Tool.Driver.Rules); got != len(Analyzers()) {
+		t.Errorf("driver lists %d rules, want the full set of %d", got, len(Analyzers()))
+	}
+	if len(doc.Runs[0].Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(doc.Runs[0].Results))
+	}
+	r0 := doc.Runs[0].Results[0]
+	if r0.RuleID != "MV007" || r0.Locations[0].PhysicalLocation.Region.StartLine != 42 {
+		t.Errorf("first result = %+v, want MV007 at line 42", r0)
+	}
+	// RuleIndex must point at the matching rules[] entry.
+	for _, r := range doc.Runs[0].Results {
+		if r.RuleIndex < 0 || doc.Runs[0].Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("ruleIndex %d does not resolve to %s", r.RuleIndex, r.RuleID)
+		}
+	}
+}

@@ -30,153 +30,123 @@ var componentStatePackages = map[string]bool{
 // with the serial engine holds only if no component's Eval touches
 // state owned by another registered component (link endpoints exempt —
 // their staged/registered split is the inter-component interface). The
-// rule walks every component's Eval call tree and flags writes through
-// another component-shaped value, method calls on other components
-// (same package) or on component-state types from other internal
-// packages (cross package, where mutation cannot be proven either
-// way), and writes to package-level state. Legitimate sharing —
-// cascade members co-located by construction, drivers and injectors
-// running in the serialized epilogue — is declared with
-// `//metrovet:shared <reason>` on the line or the enclosing function's
-// doc comment, so every crossing of the isolation boundary is
-// enumerable and justified.
+// rule walks every component's Eval call tree — over the whole-program
+// call graph, so helpers in other packages are on the hook too — and
+// flags writes through another component-shaped value, method calls on
+// other components (same package) or on component-state types from
+// other internal packages (cross package, where the syntactic rule
+// assumes mutation; shard-purity is the rule that proves it), and
+// writes to package-level state. Legitimate sharing — cascade members
+// co-located by construction, drivers and injectors running in the
+// serialized epilogue — is declared with `//metrovet:shared <reason>`
+// on the line or the enclosing function's doc comment, so every
+// crossing of the isolation boundary is enumerable and justified.
 func EvalIsolation() *Analyzer {
 	return &Analyzer{
 		Name: "eval-isolation",
 		Doc:  "flag Eval-phase call trees (components and telemetry sinks) that touch another component's non-link state; annotate //metrovet:shared <reason> for co-located or serialized components",
-		Run:  runEvalIsolation,
+		Run: func(p *Package) []Finding {
+			return runEvalIsolation(NewProgram([]*Package{p}))
+		},
+		RunProgram: runEvalIsolation,
 	}
 }
 
-func runEvalIsolation(p *Package) []Finding {
-	if p.Types == nil || p.Info == nil || !isInternal(p.ImportPath) {
+func runEvalIsolation(prog *Program) []Finding {
+	roots := isolationRoots(prog)
+	if len(roots) == 0 {
 		return nil
 	}
-	if internalName(p.ImportPath) == "link" {
-		return nil // the exempt package: link state IS the component interface
-	}
-
-	// Index compiled declarations, as hot-path-alloc does.
-	decls := map[types.Object]*ast.FuncDecl{}
-	byRecv := map[string]map[string]*ast.FuncDecl{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj := p.ObjectOf(fd.Name); obj != nil {
-				decls[obj] = fd
-			}
-			if fd.Recv != nil && len(fd.Recv.List) == 1 {
-				if tname := recvTypeName(fd); tname != "" {
-					m := byRecv[tname]
-					if m == nil {
-						m = map[string]*ast.FuncDecl{}
-						byRecv[tname] = m
-					}
-					m[fd.Name.Name] = fd
-				}
-			}
-		}
-	}
-
-	// Roots: the Eval method of every type declaring the clock.Component
-	// shape. (Commit latches a component's own registers; the isolation
-	// contract is about Eval.)
-	type rootedDecl struct {
-		fd       *ast.FuncDecl
-		root     string
-		rootType string
-		kind     string // "component" or "sink"
-	}
-	var queue []rootedDecl
-	for tname, methods := range byRecv {
-		if methods["Eval"] == nil || methods["Commit"] == nil {
-			continue
-		}
-		queue = append(queue, rootedDecl{methods["Eval"], fmt.Sprintf("(*%s).Eval", tname), tname, "component"})
-	}
-	// Telemetry sinks: tracer implementations run inside a router's or
-	// endpoint's Eval on a worker shard, so their call trees are held to
-	// the same isolation contract — a sink observes the simulation, it
-	// must not mutate it. Tracer types are detected structurally: the
-	// router tracer's four-callback vocabulary, or the endpoint tracer's
-	// Message, each with the cycle as its leading uint64 parameter.
-	for tname, methods := range byRecv {
-		for _, name := range tracerRoots(methods) {
-			queue = append(queue, rootedDecl{methods[name], fmt.Sprintf("(*%s).%s", tname, name), tname, "sink"})
-		}
-	}
-	if len(queue) == 0 {
-		return nil
-	}
-	sort.Slice(queue, func(i, j int) bool { return queue[i].root < queue[j].root })
-
-	// BFS over the intra-package call graph.
-	type rootInfo struct{ root, rootType, kind string }
-	rootOf := map[*ast.FuncDecl]rootInfo{}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if _, seen := rootOf[cur.fd]; seen {
-			continue
-		}
-		rootOf[cur.fd] = rootInfo{cur.root, cur.rootType, cur.kind}
-		ast.Inspect(cur.fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			var callee types.Object
-			switch fun := ast.Unparen(call.Fun).(type) {
-			case *ast.Ident:
-				callee = p.ObjectOf(fun)
-			case *ast.SelectorExpr:
-				callee = p.ObjectOf(fun.Sel)
-			}
-			if fd, ok := decls[callee]; ok {
-				queue = append(queue, rootedDecl{fd, cur.root, cur.rootType, cur.kind})
-			}
-			return true
-		})
-	}
-
+	reached := prog.CallGraph().Reachable(roots, nil)
 	var out []Finding
-	report := func(pos token.Position, root, kind, what string) {
-		if p.suppressed("eval-isolation", "shared", pos) {
-			return
+	for _, node := range reachedNodes(reached) {
+		p, fd := node.Pkg, node.Decl
+		if p.Types == nil || p.Info == nil || !isInternal(p.ImportPath) {
+			continue
 		}
-		contract := "a sharded component may touch only its own state and link ends"
-		if kind == "sink" {
-			contract = "a telemetry sink observes the simulation and may write only its own buffers"
+		if internalName(p.ImportPath) == "link" {
+			continue // the exempt package: link state IS the component interface
 		}
-		out = append(out, Finding{
-			Pos:  pos,
-			Rule: "eval-isolation",
-			Msg: fmt.Sprintf("%s in Eval path (reachable from %s); %s — annotate //metrovet:shared <reason> if co-located or serialized",
-				what, root, contract),
-		})
-	}
-
-	fds := make([]*ast.FuncDecl, 0, len(rootOf))
-	for fd := range rootOf {
-		fds = append(fds, fd)
-	}
-	sort.Slice(fds, func(i, j int) bool { return fds[i].Pos() < fds[j].Pos() })
-	for _, fd := range fds {
 		if docDirective(fd.Doc, "shared") {
 			continue // whole function declared shared, with its reason
 		}
-		ri := rootOf[fd]
-		ownRecv := ""
-		if fd.Recv != nil && len(fd.Recv.List) == 1 {
-			ownRecv = recvTypeName(fd)
+		ri := reached[node]
+		report := func(pos token.Position, root, what string) {
+			if p.suppressed("eval-isolation", "shared", pos) {
+				return
+			}
+			contract := "a sharded component may touch only its own state and link ends"
+			if ri.Kind == "sink" {
+				contract = "a telemetry sink observes the simulation and may write only its own buffers"
+			}
+			out = append(out, Finding{
+				Pos:  pos,
+				Rule: "eval-isolation",
+				Msg: fmt.Sprintf("%s in Eval path (reachable from %s); %s — annotate //metrovet:shared <reason> if co-located or serialized",
+					what, root, contract),
+			})
 		}
-		checkIsolation(p, fd.Body, ri.root, ri.rootType, ownRecv,
-			func(pos token.Position, root, what string) { report(pos, root, ri.kind, what) })
+		checkIsolation(p, fd.Body, ri.Root, ri.Type, node.RecvName, report)
 	}
+	SortFindings(out)
 	return out
+}
+
+// isolationRoots collects the Eval methods of component-shaped types
+// plus the callback methods of telemetry sinks, from every internal
+// non-link package. (Commit latches a component's own registers; the
+// isolation contract is about Eval. Tracer implementations run inside a
+// router's or endpoint's Eval on a worker shard, so their call trees are
+// held to the same contract — a sink observes the simulation, it must
+// not mutate it. Tracer types are detected structurally: the router
+// tracer's four-callback vocabulary, or the endpoint tracer's Message,
+// each with the cycle as its leading uint64 parameter.)
+func isolationRoots(prog *Program) []RootedNode {
+	keep := func(p *Package) bool {
+		return isInternal(p.ImportPath) && internalName(p.ImportPath) != "link"
+	}
+	roots := componentRoots(prog, keep, "Eval")
+	for _, p := range prog.Packages {
+		if p.Types == nil || !keep(p) {
+			continue
+		}
+		byRecv := map[string]map[string]*ast.FuncDecl{}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
+					continue
+				}
+				if tname := recvTypeName(fd); tname != "" {
+					if byRecv[tname] == nil {
+						byRecv[tname] = map[string]*ast.FuncDecl{}
+					}
+					byRecv[tname][fd.Name.Name] = fd
+				}
+			}
+		}
+		tnames := make([]string, 0, len(byRecv))
+		for tname := range byRecv {
+			tnames = append(tnames, tname)
+		}
+		sort.Strings(tnames)
+		for _, tname := range tnames {
+			for _, name := range tracerRoots(byRecv[tname]) {
+				node := prog.FuncByKey(p.ImportPath + "." + tname + "." + name)
+				if node == nil {
+					continue
+				}
+				roots = append(roots, RootedNode{
+					Node: node,
+					Root: fmt.Sprintf("(%s.%s).%s", pkgLabel(p), tname, name),
+					Type: tname,
+					Kind: "sink",
+				})
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Root < roots[j].Root })
+	return roots
 }
 
 // routerTracerMethods is the core.Tracer callback vocabulary; a type

@@ -60,6 +60,58 @@ func loadFixture(t *testing.T, importPath string, files map[string]string) *Pack
 	return p
 }
 
+// fixturePkg is one package of a multi-package fixture program.
+type fixturePkg struct {
+	path  string
+	files map[string]string
+}
+
+// loadFixtureProgram type-checks several in-memory packages, in
+// dependency order (imported packages first), and indexes them as a
+// Program for the whole-program analyzers. Fixture packages may import
+// the standard library and any fixture package listed before them.
+func loadFixtureProgram(t *testing.T, pkgs ...fixturePkg) *Program {
+	t.Helper()
+	local := map[string]*types.Package{}
+	imp := &fixtureProgImporter{local: local}
+	var out []*Package
+	for _, fp := range pkgs {
+		p := &Package{ImportPath: fp.path, Fset: fixtureFset}
+		for name, src := range fp.files {
+			f, err := parser.ParseFile(fixtureFset, fp.path+"/"+name, src, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s/%s: %v", fp.path, name, err)
+			}
+			if strings.HasSuffix(name, "_test.go") {
+				p.TestFiles = append(p.TestFiles, f)
+			} else {
+				p.Files = append(p.Files, f)
+			}
+		}
+		collect := func(err error) { p.TypeErrs = append(p.TypeErrs, err) }
+		p.Info = newInfo()
+		unit := append(append([]*ast.File{}, p.Files...), p.TestFiles...)
+		p.Types, _ = (&types.Config{Importer: imp, Error: collect}).Check(fp.path, fixtureFset, unit, p.Info)
+		local[fp.path] = p.Types
+		for _, err := range p.TypeErrs {
+			t.Logf("fixture type error (tolerated): %v", err)
+		}
+		out = append(out, p)
+	}
+	return NewProgram(out)
+}
+
+// fixtureProgImporter resolves fixture-local packages first and defers
+// the rest to the shared GOROOT source importer.
+type fixtureProgImporter struct{ local map[string]*types.Package }
+
+func (i *fixtureProgImporter) Import(path string) (*types.Package, error) {
+	if p := i.local[path]; p != nil {
+		return p, nil
+	}
+	return fixtureImporter.Import(path)
+}
+
 // runRule loads the fixture and runs one analyzer over it.
 func runRule(t *testing.T, a *Analyzer, importPath string, files map[string]string) []Finding {
 	t.Helper()

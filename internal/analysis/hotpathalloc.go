@@ -5,7 +5,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
 // HotPathAlloc returns the hot-path-alloc analyzer. The per-cycle
@@ -16,125 +15,57 @@ import (
 // cycle path shouldn't either.
 //
 // The rule: in the bodies of Eval/Commit methods of clock.Component
-// implementers — any type declaring both — and every intra-package
-// function reachable from them, the analyzer flags the allocation idioms
-// Go hides in plain sight: make/new, growing append, slice and map
-// composite literals, &composite literals, fmt calls, string
-// concatenation, and interface boxing of non-pointer values. Justified
-// sites (per-message work that is not per-cycle, appends into buffers
-// whose capacity is preallocated) carry `//metrovet:alloc <reason>` on
-// the line or, for whole per-message helpers, on the function's doc
-// comment. The static rule is paired with AllocsPerRun-gated benchmarks
-// (internal/core, internal/link, internal/nic) proving zero allocations
-// per steady-state cycle at runtime.
+// implementers — any type declaring both — and every function reachable
+// from them over the whole-program call graph (static calls, method
+// values, CHA-resolved interface dispatch; see callgraph.go), the
+// analyzer flags the allocation idioms Go hides in plain sight:
+// make/new, growing append, slice and map composite literals, &composite
+// literals, fmt calls, string concatenation, and interface boxing of
+// non-pointer values. Justified sites (per-message work that is not
+// per-cycle, appends into buffers whose capacity is preallocated) carry
+// `//metrovet:alloc <reason>` on the line or, for whole per-message
+// helpers, on the function's doc comment. The static rule is paired with
+// AllocsPerRun-gated benchmarks (internal/core, internal/link,
+// internal/nic) proving zero allocations per steady-state cycle at
+// runtime.
 func HotPathAlloc() *Analyzer {
 	return &Analyzer{
 		Name: "hot-path-alloc",
 		Doc:  "flag heap-allocation idioms reachable from clock.Component Eval/Commit; annotate //metrovet:alloc <reason> for justified per-message work",
-		Run:  runHotPathAlloc,
+		Run: func(p *Package) []Finding {
+			return runHotPathAlloc(NewProgram([]*Package{p}))
+		},
+		RunProgram: runHotPathAlloc,
 	}
 }
 
-func runHotPathAlloc(p *Package) []Finding {
-	if p.Types == nil || p.Info == nil {
+func runHotPathAlloc(prog *Program) []Finding {
+	roots := componentRoots(prog, nil, "Eval", "Commit")
+	if len(roots) == 0 {
 		return nil
 	}
-	// Index compiled function declarations by their type object.
-	decls := map[types.Object]*ast.FuncDecl{}
-	byRecv := map[string]map[string]*ast.FuncDecl{}
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj := p.ObjectOf(fd.Name); obj != nil {
-				decls[obj] = fd
-			}
-			if fd.Recv != nil && len(fd.Recv.List) == 1 {
-				if tname := recvTypeName(fd); tname != "" {
-					m := byRecv[tname]
-					if m == nil {
-						m = map[string]*ast.FuncDecl{}
-						byRecv[tname] = m
-					}
-					m[fd.Name.Name] = fd
-				}
-			}
-		}
-	}
-
-	// Roots: Eval and Commit of every type declaring both (the
-	// clock.Component shape).
-	type rootedDecl struct {
-		fd   *ast.FuncDecl
-		root string
-	}
-	var queue []rootedDecl
-	for tname, methods := range byRecv {
-		if methods["Eval"] == nil || methods["Commit"] == nil {
-			continue
-		}
-		for _, name := range []string{"Eval", "Commit"} {
-			queue = append(queue, rootedDecl{methods[name], fmt.Sprintf("(*%s).%s", tname, name)})
-		}
-	}
-	if len(queue) == 0 {
-		return nil
-	}
-	sort.Slice(queue, func(i, j int) bool { return queue[i].root < queue[j].root })
-
-	// BFS over the intra-package call graph, remembering the first root
-	// that reaches each function (for the finding message).
-	rootOf := map[*ast.FuncDecl]string{}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if _, seen := rootOf[cur.fd]; seen {
-			continue
-		}
-		rootOf[cur.fd] = cur.root
-		ast.Inspect(cur.fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			var callee types.Object
-			switch fun := ast.Unparen(call.Fun).(type) {
-			case *ast.Ident:
-				callee = p.ObjectOf(fun)
-			case *ast.SelectorExpr:
-				callee = p.ObjectOf(fun.Sel)
-			}
-			if fd, ok := decls[callee]; ok {
-				queue = append(queue, rootedDecl{fd, cur.root})
-			}
-			return true
-		})
-	}
-
+	reached := prog.CallGraph().Reachable(roots, nil)
 	var out []Finding
-	report := func(pos token.Position, root, what string) {
-		if p.suppressed("hot-path-alloc", "alloc", pos) {
-			return
+	for _, node := range reachedNodes(reached) {
+		p, fd := node.Pkg, node.Decl
+		if p.Types == nil || p.Info == nil {
+			continue
 		}
-		out = append(out, Finding{
-			Pos:  pos,
-			Rule: "hot-path-alloc",
-			Msg: fmt.Sprintf("%s in per-cycle path (reachable from %s); preallocate scratch on the component or annotate //metrovet:alloc <reason>",
-				what, root),
-		})
-	}
-	fds := make([]*ast.FuncDecl, 0, len(rootOf))
-	for fd := range rootOf {
-		fds = append(fds, fd)
-	}
-	sort.Slice(fds, func(i, j int) bool { return fds[i].Pos() < fds[j].Pos() })
-	for _, fd := range fds {
 		if docDirective(fd.Doc, "alloc") {
 			continue // whole function justified (per-message helper)
 		}
-		root := rootOf[fd]
+		root := reached[node].Root
+		report := func(pos token.Position, root, what string) {
+			if p.suppressed("hot-path-alloc", "alloc", pos) {
+				return
+			}
+			out = append(out, Finding{
+				Pos:  pos,
+				Rule: "hot-path-alloc",
+				Msg: fmt.Sprintf("%s in per-cycle path (reachable from %s); preallocate scratch on the component or annotate //metrovet:alloc <reason>",
+					what, root),
+			})
+		}
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			switch e := n.(type) {
 			case *ast.CallExpr:
@@ -168,6 +99,7 @@ func runHotPathAlloc(p *Package) []Finding {
 			return true
 		})
 	}
+	SortFindings(out)
 	return out
 }
 

@@ -70,6 +70,25 @@ func modulePath(gomod string) (string, error) {
 // supported are "./..." (every package under the module root), "./dir"
 // and "./dir/..." (a directory, optionally recursive).
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.Dirs(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Dirs resolves patterns to the sorted package directories they match,
+// without parsing or type-checking anything (the analysis cache hashes
+// sources from this listing before deciding whether to load at all).
+func (l *Loader) Dirs(patterns ...string) ([]string, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -123,15 +142,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		dirs = append(dirs, d)
 	}
 	sort.Strings(dirs)
-	var out []*Package
-	for _, dir := range dirs {
-		p, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
-	}
-	return out, nil
+	return dirs, nil
 }
 
 func hasGoFiles(dir string) bool {

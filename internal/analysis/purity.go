@@ -1,0 +1,633 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ShardPurity returns the shard-purity analyzer, the whole-program
+// counterpart of eval-isolation. Where eval-isolation pattern-matches
+// suspicious shapes inside one package, shard-purity *proves* — over
+// the interprocedural call graph, including interface dispatch — that
+// every function reachable from any component's Eval writes only
+// receiver-local (shard-local) state. It tracks writes through pointer
+// parameters (a helper that scribbles on a *Router it was handed is
+// charged to whoever handed it the pointer), captured closures,
+// package-level variables, slice/map aliasing of all of the above, and
+// CHA-resolved interface calls that land on another component's
+// mutating method.
+//
+// The rule exists because the parallel engine's bit-for-bit equivalence
+// claim rests on Eval-phase isolation, and the next refactors (the
+// flattened struct-of-arrays kernel, cross-process sharding) widen the
+// surface where one stray cross-shard write silently breaks it.
+// `//metrovet:shared <reason>` remains the single audited escape hatch:
+// on a line it clears that site; in a function's doc comment it declares
+// the whole function audited (the analyzer treats it as pure and stops
+// descending — the annotation is the proof obligation's boundary).
+func ShardPurity() *Analyzer {
+	return &Analyzer{
+		Name: "shard-purity",
+		Doc:  "prove, interprocedurally, that Eval-reachable code writes only shard-local state; annotate //metrovet:shared <reason> for audited sharing",
+		Run: func(p *Package) []Finding {
+			return runShardPurity(NewProgram([]*Package{p}))
+		},
+		RunProgram: runShardPurity,
+	}
+}
+
+// region abstracts where a write lands.
+type region uint8
+
+const (
+	// regionLocal is function-local state: invisible outside the frame.
+	regionLocal region = iota
+	// regionUnknown is an unclassifiable base (a call result, a type
+	// assertion); the analyzer stays silent rather than guess.
+	regionUnknown
+	// regionLink is link-package state: the sanctioned inter-component
+	// interface (single staged writer per field, values move at Commit).
+	regionLink
+	// regionRecv is the function's own receiver — shard-local by the
+	// engine's co-location guarantee.
+	regionRecv
+	// regionParam is state reached through a pointer-like parameter;
+	// ownership is decided at each call site.
+	regionParam
+	// regionGlobal is a module package-level variable: shared across
+	// every shard by construction.
+	regionGlobal
+	// regionForeign is another component's state.
+	regionForeign
+)
+
+// regionRank orders regions for joins: when an alias could point at
+// several regions, the most dangerous one wins.
+var regionRank = [...]int{
+	regionLocal:   0,
+	regionUnknown: 1,
+	regionLink:    2,
+	regionRecv:    3,
+	regionParam:   4,
+	regionGlobal:  5,
+	regionForeign: 6,
+}
+
+// base is a classified write/aliasing base: the region plus enough
+// identity for diagnostics (the parameter index, the global's name, or
+// the foreign component's type name).
+type base struct {
+	region region
+	param  int
+	name   string
+}
+
+func joinBase(a, b base) base {
+	if regionRank[b.region] > regionRank[a.region] {
+		return b
+	}
+	return a
+}
+
+// puritySummary is one function's interprocedural write effects.
+type puritySummary struct {
+	writesRecv   bool
+	writesParams map[int]bool
+	// shared marks a //metrovet:shared doc directive: the function is
+	// audited, treated as pure, and not descended into.
+	shared bool
+}
+
+// siteEffect is one write site with its classified base.
+type siteEffect struct {
+	pos  token.Pos
+	base base
+	// what describes the write for the finding message.
+	what string
+}
+
+// callSite is one call expression with its resolved targets.
+type callSite struct {
+	call    *ast.CallExpr
+	recvX   ast.Expr // method selector receiver, nil for plain calls
+	selName string
+	targets []CallEdge
+}
+
+// funcCtx is the per-function analysis state.
+type funcCtx struct {
+	node     *FuncNode
+	p        *Package
+	recvObj  types.Object
+	ownRecv  string
+	params   map[types.Object]int
+	paramPtr map[int]bool
+	aliases  map[types.Object]base
+	writes   []siteEffect
+	calls    []callSite
+	sum      puritySummary
+}
+
+// purityAnalysis carries the whole-program fixpoint state.
+type purityAnalysis struct {
+	prog *Program
+	cg   *CallGraph
+	ctx  map[*FuncNode]*funcCtx
+	// order fixes a deterministic iteration order for the fixpoint.
+	order []*funcCtx
+}
+
+func runShardPurity(prog *Program) []Finding {
+	an := &purityAnalysis{prog: prog, cg: prog.CallGraph(), ctx: map[*FuncNode]*funcCtx{}}
+	an.prepare()
+	an.fixpoint()
+	return an.report()
+}
+
+// prepare builds the per-function contexts: alias tables, classified
+// write sites, and resolved call sites, for every compiled function in
+// an internal package.
+func (an *purityAnalysis) prepare() {
+	var keys []string
+	for key, node := range an.prog.funcs {
+		if !isInternal(node.Pkg.ImportPath) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		node := an.prog.funcs[key]
+		fc := &funcCtx{
+			node:     node,
+			p:        node.Pkg,
+			ownRecv:  node.RecvName,
+			params:   map[types.Object]int{},
+			paramPtr: map[int]bool{},
+			aliases:  map[types.Object]base{},
+			sum:      puritySummary{writesParams: map[int]bool{}},
+		}
+		fd := node.Decl
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			fc.recvObj = fc.p.ObjectOf(fd.Recv.List[0].Names[0])
+		}
+		idx := 0
+		if fd.Type.Params != nil {
+			for _, field := range fd.Type.Params.List {
+				ptr := pointerLike(fc.p.TypeOf(field.Type))
+				if len(field.Names) == 0 {
+					idx++
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := fc.p.ObjectOf(name); obj != nil {
+						fc.params[obj] = idx
+					}
+					fc.paramPtr[idx] = ptr
+					idx++
+				}
+			}
+		}
+		fc.sum.shared = docDirective(fd.Doc, "shared")
+		an.ctx[node] = fc
+		an.order = append(an.order, fc)
+	}
+	for _, fc := range an.order {
+		fc.buildAliases()
+		fc.collectEffects(an.cg)
+		for _, w := range fc.writes {
+			switch w.base.region {
+			case regionRecv:
+				fc.sum.writesRecv = true
+			case regionParam:
+				fc.sum.writesParams[w.base.param] = true
+			case regionLocal, regionUnknown, regionLink, regionGlobal, regionForeign:
+				// Locals and links carry no effect; globals and foreign
+				// writes become findings directly in the report pass.
+			}
+		}
+	}
+}
+
+// buildAliases runs the flow-insensitive alias pass to a fixpoint:
+// every local picks up the worst base it is ever bound to, so writes
+// through it are charged to that base.
+func (fc *funcCtx) buildAliases() {
+	body := fc.node.Decl.Body
+	for range [8]struct{}{} {
+		changed := false
+		bind := func(name ast.Expr, rhs base) {
+			id, ok := ast.Unparen(name).(*ast.Ident)
+			if ok && id.Name != "_" {
+				if obj := fc.p.ObjectOf(id); obj != nil {
+					if _, isParam := fc.params[obj]; isParam || obj == fc.recvObj {
+						return // params/receiver classify directly
+					}
+					next := joinBase(fc.aliases[obj], rhs)
+					if next != fc.aliases[obj] {
+						fc.aliases[obj] = next
+						changed = true
+					}
+				}
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						bind(s.Lhs[i], fc.classify(s.Rhs[i]))
+					}
+				}
+			case *ast.RangeStmt:
+				if s.Value != nil {
+					bind(s.Value, fc.classify(s.X))
+				}
+			case *ast.ValueSpec:
+				if len(s.Names) == len(s.Values) {
+					for i := range s.Names {
+						bind(s.Names[i], fc.classify(s.Values[i]))
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+}
+
+// collectEffects classifies every write site and resolves every call
+// site in the function body (closures included: a function literal's
+// writes and calls happen on behalf of its declarer).
+func (fc *funcCtx) collectEffects(cg *CallGraph) {
+	write := func(pos token.Pos, e ast.Expr, what string) {
+		b := fc.classify(e)
+		fc.writes = append(fc.writes, siteEffect{pos: pos, base: b, what: what})
+	}
+	ast.Inspect(fc.node.Decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true // new bindings handled by the alias pass
+			}
+			for _, lhs := range s.Lhs {
+				if _, bare := ast.Unparen(lhs).(*ast.Ident); bare {
+					continue // rebinding a variable is not a shared write
+				}
+				write(lhs.Pos(), lhs, "write to")
+			}
+		case *ast.IncDecStmt:
+			// A bare local counter++ classifies regionLocal and stays
+			// silent; a bare package-level counter++ is a shared write.
+			write(s.X.Pos(), s.X, "write to")
+		case *ast.SendStmt:
+			write(s.Chan.Pos(), s.Chan, "send on")
+		case *ast.CallExpr:
+			fun := ast.Unparen(s.Fun)
+			if id, ok := fun.(*ast.Ident); ok && isBuiltin(fc.p, id) {
+				switch id.Name {
+				case "delete":
+					if len(s.Args) > 0 {
+						write(s.Args[0].Pos(), s.Args[0], "delete mutates")
+					}
+				case "copy", "append":
+					if len(s.Args) > 0 {
+						write(s.Args[0].Pos(), s.Args[0], id.Name+" writes through")
+					}
+				}
+				return true
+			}
+			cs := callSite{call: s, targets: cg.callEdges(fc.p, s)}
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				if _, isPkg := pkgQualifier(fc.p, sel); !isPkg {
+					cs.recvX = sel.X
+					cs.selName = sel.Sel.Name
+				} else {
+					cs.selName = sel.Sel.Name
+				}
+			}
+			fc.calls = append(fc.calls, cs)
+		}
+		return true
+	})
+}
+
+// classify resolves an expression to the region its storage lives in,
+// walking selector/index/star chains to the root and consulting the
+// alias table for locals.
+func (fc *funcCtx) classify(e ast.Expr) base {
+	worst := base{region: regionLocal}
+	for {
+		e = ast.Unparen(e)
+		switch ee := e.(type) {
+		case *ast.SelectorExpr:
+			// pkg.Var / pkg.Func roots resolve through the selection.
+			if obj, isPkg := pkgQualifier(fc.p, ee); isPkg {
+				return joinBase(worst, fc.classifyObj(obj))
+			}
+			t := fc.p.TypeOf(ee.X)
+			if linkTyped(t) {
+				return base{region: regionLink}
+			}
+			if named := componentNamed(t); named != nil && named.Obj().Name() != fc.ownRecv {
+				worst = joinBase(worst, base{region: regionForeign, name: named.Obj().Name()})
+			}
+			e = ee.X
+		case *ast.IndexExpr:
+			e = ee.X
+		case *ast.IndexListExpr:
+			e = ee.X
+		case *ast.StarExpr:
+			e = ee.X
+		case *ast.UnaryExpr:
+			if ee.Op == token.AND {
+				e = ee.X
+				continue
+			}
+			return joinBase(worst, base{region: regionUnknown})
+		case *ast.CallExpr:
+			// append returns its first argument's backing store.
+			if id, ok := ast.Unparen(ee.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(fc.p, id) && len(ee.Args) > 0 {
+				e = ee.Args[0]
+				continue
+			}
+			return joinBase(worst, base{region: regionUnknown})
+		case *ast.Ident:
+			return joinBase(worst, fc.classifyObj(fc.p.ObjectOf(ee)))
+		case *ast.TypeAssertExpr:
+			e = ee.X
+		default:
+			return joinBase(worst, base{region: regionUnknown})
+		}
+	}
+}
+
+// classifyObj classifies a chain's root object.
+func (fc *funcCtx) classifyObj(obj types.Object) base {
+	if obj == nil {
+		return base{region: regionUnknown}
+	}
+	if fc.recvObj != nil && obj == fc.recvObj {
+		return base{region: regionRecv}
+	}
+	if i, ok := fc.params[obj]; ok {
+		if fc.paramPtr[i] {
+			return base{region: regionParam, param: i, name: obj.Name()}
+		}
+		return base{region: regionLocal}
+	}
+	if b, ok := fc.aliases[obj]; ok {
+		return b
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return base{region: regionUnknown}
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		// Package-level variable. Only module packages are shared
+		// simulation state; stdlib vars (os.Stdout, ...) are out of
+		// scope, and link-package state is the sanctioned interface.
+		pkg := v.Pkg()
+		if pkg == nil {
+			return base{region: regionUnknown}
+		}
+		path := strings.TrimSuffix(pkg.Path(), "_test")
+		if internalName(path) == "link" {
+			return base{region: regionLink}
+		}
+		if fc.p.ImportPath == path || strings.HasPrefix(path, modulePrefix(fc.p.ImportPath)) {
+			return base{region: regionGlobal, name: obj.Name()}
+		}
+		return base{region: regionUnknown}
+	}
+	return base{region: regionLocal}
+}
+
+// modulePrefix derives the module root prefix from an import path
+// ("metro/internal/core" -> "metro/"). Fixture paths and real paths
+// both start with the module name.
+func modulePrefix(importPath string) string {
+	if i := strings.IndexByte(importPath, '/'); i >= 0 {
+		return importPath[:i+1]
+	}
+	return importPath
+}
+
+// pkgQualifier reports whether sel is a package-qualified reference
+// (pkg.Name) and resolves the named object if so.
+func pkgQualifier(p *Package, sel *ast.SelectorExpr) (types.Object, bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if _, isPkg := p.PkgNameOf(id); !isPkg {
+		return nil, false
+	}
+	return p.ObjectOf(sel.Sel), true
+}
+
+// pointerLike reports whether a parameter of type t lets the callee
+// reach the caller's storage: pointers, slices, maps and channels do;
+// value copies (basics, structs, arrays) and interfaces/funcs (whose
+// dynamic targets the per-callee analysis covers) do not.
+func pointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// linkTyped reports whether t is (a pointer to) a named type declared
+// in internal/link.
+func linkTyped(t types.Type) bool {
+	named := namedTypeOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return internalName(named.Obj().Pkg().Path()) == "link"
+}
+
+// fixpoint propagates write effects across call sites until summaries
+// stabilize: a helper that writes through its pointer parameter makes
+// its caller a receiver-writer when the caller passes receiver state,
+// and a parameter-writer when it forwards its own parameter.
+func (an *purityAnalysis) fixpoint() {
+	for {
+		changed := false
+		for _, fc := range an.order {
+			if fc.sum.shared {
+				continue
+			}
+			for _, cs := range fc.calls {
+				for _, e := range cs.targets {
+					callee := an.ctx[e.Callee]
+					if callee == nil || callee.sum.shared {
+						continue
+					}
+					if callee.sum.writesRecv && cs.recvX != nil {
+						if fc.absorb(fc.classify(cs.recvX)) {
+							changed = true
+						}
+					}
+					for i := range callee.sum.writesParams {
+						if arg := argForParam(cs.call, callee, i); arg != nil {
+							if fc.absorb(fc.classify(arg)) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// absorb folds a callee-propagated write base into the summary,
+// reporting whether the summary grew. Global and foreign bases become
+// findings in the report pass, not summary effects.
+func (fc *funcCtx) absorb(b base) bool {
+	switch b.region {
+	case regionRecv:
+		if !fc.sum.writesRecv {
+			fc.sum.writesRecv = true
+			return true
+		}
+	case regionParam:
+		if !fc.sum.writesParams[b.param] {
+			fc.sum.writesParams[b.param] = true
+			return true
+		}
+	case regionLocal, regionUnknown, regionLink, regionGlobal, regionForeign:
+		// No summary effect.
+	}
+	return false
+}
+
+// argForParam maps a callee parameter index back to the caller's
+// argument expression, tolerating variadics and mismatched arity.
+func argForParam(call *ast.CallExpr, callee *funcCtx, i int) ast.Expr {
+	if i < len(call.Args) {
+		return call.Args[i]
+	}
+	return nil
+}
+
+// purityRoots collects every Eval method of a component-shaped type in
+// an internal package (link excluded: link state is the sanctioned
+// interface), sorted for deterministic first-root attribution.
+func (an *purityAnalysis) purityRoots() []RootedNode {
+	return componentRoots(an.prog, func(p *Package) bool {
+		return isInternal(p.ImportPath) && internalName(p.ImportPath) != "link"
+	}, "Eval")
+}
+
+// report walks every function reachable from an Eval root and emits the
+// surviving findings.
+func (an *purityAnalysis) report() []Finding {
+	reached := an.cg.Reachable(an.purityRoots(), func(e CallEdge) bool {
+		callee := an.ctx[e.Callee]
+		return callee == nil || !callee.sum.shared
+	})
+	nodes := reachedNodes(reached)
+
+	var out []Finding
+	emitted := map[string]bool{}
+	emit := func(fc *funcCtx, pos token.Pos, ri RootInfo, what string) {
+		position := fc.p.Fset.Position(pos)
+		if fc.p.suppressed("shard-purity", "shared", position) {
+			return
+		}
+		via := ""
+		if ri.Via != "" {
+			via = fmt.Sprintf(" via %s", ri.Via)
+		}
+		msg := fmt.Sprintf("%s (reachable from %s%s); shard purity requires Eval trees to write only shard-local state — annotate //metrovet:shared <reason> if co-located or serialized",
+			what, ri.Root, via)
+		key := fmt.Sprintf("%s:%d:%s", position.Filename, position.Line, msg)
+		if emitted[key] {
+			return
+		}
+		emitted[key] = true
+		out = append(out, Finding{Pos: position, Rule: "shard-purity", Msg: msg})
+	}
+
+	for _, node := range nodes {
+		fc := an.ctx[node]
+		if fc == nil || fc.sum.shared || internalName(fc.p.ImportPath) == "link" {
+			continue
+		}
+		ri := reached[node]
+		for _, w := range fc.writes {
+			switch w.base.region {
+			case regionGlobal:
+				emit(fc, w.pos, ri, fmt.Sprintf("%s package-level state %s", w.what, w.base.name))
+			case regionForeign:
+				if w.base.name != ri.Type {
+					emit(fc, w.pos, ri, fmt.Sprintf("%s state of component type %s", w.what, w.base.name))
+				}
+			case regionLocal, regionUnknown, regionLink, regionRecv, regionParam:
+				// Local, sanctioned, own, or charged at call sites.
+			}
+		}
+		for _, cs := range fc.calls {
+			an.reportCall(fc, cs, ri, emit)
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// reportCall emits findings for one call site: mutating calls onto
+// foreign components (static or interface-dispatched) and shared state
+// handed to parameter-writing callees.
+func (an *purityAnalysis) reportCall(fc *funcCtx, cs callSite, ri RootInfo, emit func(*funcCtx, token.Pos, RootInfo, string)) {
+	for _, e := range cs.targets {
+		callee := an.ctx[e.Callee]
+		if callee == nil || callee.sum.shared {
+			continue
+		}
+		if callee.sum.writesRecv && cs.recvX != nil {
+			if e.Kind == EdgeIface {
+				if e.IfaceRecv != nil && isComponentShaped(e.IfaceRecv) && e.IfaceRecv.Obj().Name() != ri.Type {
+					emit(fc, cs.call.Pos(), ri, fmt.Sprintf("call through %s may dispatch to (%s).%s, which mutates that component's state",
+						e.IfaceName, e.IfaceRecv.Obj().Name(), cs.selName))
+				}
+			} else {
+				b := fc.classify(cs.recvX)
+				if b.region == regionForeign && b.name != ri.Type {
+					emit(fc, cs.call.Pos(), ri, fmt.Sprintf("call to (%s).%s mutates that component's state", b.name, cs.selName))
+				}
+			}
+		}
+		for i := range callee.sum.writesParams {
+			arg := argForParam(cs.call, callee, i)
+			if arg == nil {
+				continue
+			}
+			b := fc.classify(arg)
+			switch b.region {
+			case regionGlobal:
+				emit(fc, arg.Pos(), ri, fmt.Sprintf("passes package-level state %s to %s, which writes through it", b.name, e.Callee))
+			case regionForeign:
+				if b.name != ri.Type {
+					emit(fc, arg.Pos(), ri, fmt.Sprintf("passes component %s state to %s, which writes through it", b.name, e.Callee))
+				}
+			case regionLocal, regionUnknown, regionLink, regionRecv, regionParam:
+				// Shard-local or charged elsewhere.
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// TreeOptions configures a whole-tree analysis run.
+type TreeOptions struct {
+	// Patterns are loader patterns ("./...", "./dir", "./dir/...");
+	// empty means the whole module.
+	Patterns []string
+	// CacheDir enables the incremental cache (see cache.go) when
+	// non-empty.
+	CacheDir string
+	// Rules overrides the rule set (nil = Analyzers()).
+	Rules []*Analyzer
+}
+
+// TreeResult is the outcome of one whole-tree run.
+type TreeResult struct {
+	// Findings is the merged, sorted finding list with module-relative
+	// filenames.
+	Findings []Finding
+	// Packages is the number of matched package directories.
+	Packages int
+	// FullHit reports that the whole result was served from the cache
+	// without parsing or type-checking anything.
+	FullHit bool
+	// PkgHits counts packages whose per-package-rule findings came from
+	// the cache (equals Packages on a full hit).
+	PkgHits int
+	// Key is the whole-tree cache key (content hash).
+	Key string
+	// TypeErrs holds type-checker diagnostics ("path: err"), empty on a
+	// full cache hit and on a tree that builds.
+	TypeErrs []string
+}
+
+// RunTree is the one entry point the CLI, the tests and the benchmark
+// share: resolve patterns, consult the cache, load what must be loaded,
+// run per-package rules per package and whole-program rules once over
+// the combined Program, and return stable, module-relative findings.
+func RunTree(root string, opts TreeOptions) (*TreeResult, error) {
+	rules := opts.Rules
+	if rules == nil {
+		rules = Analyzers()
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.Dirs(opts.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hash sources before deciding whether to load: a full cache hit
+	// skips parsing and type-checking entirely.
+	dirKeys := map[string]string{}
+	for _, dir := range dirs {
+		ip, err := loader.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		h, err := dirHash(dir)
+		if err != nil {
+			return nil, err
+		}
+		dirKeys[ip] = h
+	}
+	rh := ruleHash(rules)
+	key := programKey(root, rh, dirKeys)
+	res := &TreeResult{Packages: len(dirs), Key: key}
+
+	var cf *cacheFile
+	if opts.CacheDir != "" {
+		cf = readCache(opts.CacheDir)
+		if cf.RuleHash == rh && cf.ProgramKey == key {
+			res.Findings = decodeFindings(cf.Findings)
+			res.FullHit = true
+			res.PkgHits = len(dirs)
+			return res, nil
+		}
+	}
+
+	pkgs, err := loader.Load(opts.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrs {
+			res.TypeErrs = append(res.TypeErrs, fmt.Sprintf("%s: %v", p.ImportPath, terr))
+		}
+	}
+
+	// relativize rewrites filenames module-relative and zeroes the
+	// byte offset, so fresh findings compare equal to cache-decoded ones.
+	relativize := func(fs []Finding) []Finding {
+		for i := range fs {
+			if rel, err := filepath.Rel(root, fs[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				fs[i].Pos.Filename = filepath.ToSlash(rel)
+			}
+			fs[i].Pos.Offset = 0
+		}
+		return fs
+	}
+
+	var pkgRules, progRules []*Analyzer
+	for _, a := range rules {
+		if a.RunProgram != nil {
+			progRules = append(progRules, a)
+		} else {
+			pkgRules = append(pkgRules, a)
+		}
+	}
+
+	useCache := cf != nil && cf.RuleHash == rh
+	newCf := &cacheFile{Version: cacheVersion, RuleHash: rh, ProgramKey: key, Packages: map[string]cachePkgEntry{}}
+	var all []Finding
+	for _, p := range pkgs {
+		if useCache {
+			if e, ok := cf.Packages[p.ImportPath]; ok && e.Key == dirKeys[p.ImportPath] {
+				all = append(all, decodeFindings(e.Findings)...)
+				newCf.Packages[p.ImportPath] = e
+				res.PkgHits++
+				continue
+			}
+		}
+		var fs []Finding
+		for _, a := range pkgRules {
+			fs = append(fs, a.Run(p)...)
+		}
+		fs = relativize(fs)
+		SortFindings(fs)
+		newCf.Packages[p.ImportPath] = cachePkgEntry{Key: dirKeys[p.ImportPath], Findings: encodeFindings(fs)}
+		all = append(all, fs...)
+	}
+
+	// Whole-program rules always run on a partial hit: an edit anywhere
+	// can change an interprocedural summary packages away.
+	prog := NewProgram(pkgs)
+	for _, a := range progRules {
+		all = append(all, relativize(a.RunProgram(prog))...)
+	}
+	SortFindings(all)
+	res.Findings = all
+
+	if opts.CacheDir != "" {
+		newCf.Findings = encodeFindings(all)
+		// Best-effort: a failed cache write only costs the next run time.
+		_ = writeCache(opts.CacheDir, newCf)
+	}
+	return res, nil
+}

@@ -152,28 +152,32 @@ func (g *Group) check(cycle uint64) {
 	}
 }
 
-// SplitWord slices a logical word of width w*c into the c member words.
+// MemberWord computes member k of a logical word bit-sliced across lanes
+// of width w: the allocation-free form of SplitWord for per-cycle paths.
 // Control words are replicated; data-bearing payloads are bit-sliced with
 // member 0 carrying the least significant w bits.
-func SplitWord(logical word.Word, c, w int) []word.Word {
-	out := make([]word.Word, c)
+func MemberWord(logical word.Word, k, w int) word.Word {
 	switch logical.Kind {
 	case word.Data, word.ChecksumWord:
-		for k := 0; k < c; k++ {
-			out[k] = word.Word{
-				Kind:    logical.Kind,
-				Payload: (logical.Payload >> uint(k*w)) & word.Mask(w),
-			}
+		return word.Word{
+			Kind:    logical.Kind,
+			Payload: (logical.Payload >> uint(k*w)) & word.Mask(w),
 		}
 	case word.Empty, word.Route, word.HeaderPad, word.DataIdle, word.Turn,
 		word.Status, word.Drop:
 		// Control words are replicated so member state machines stay in
 		// lockstep.
-		for k := 0; k < c; k++ {
-			out[k] = logical
-		}
+		return logical
 	default:
-		panic("cascade: SplitWord: out-of-band word kind")
+		panic("cascade: MemberWord: out-of-band word kind")
+	}
+}
+
+// SplitWord slices a logical word of width w*c into the c member words.
+func SplitWord(logical word.Word, c, w int) []word.Word {
+	out := make([]word.Word, c)
+	for k := range out {
+		out[k] = MemberWord(logical, k, w)
 	}
 	return out
 }

@@ -14,8 +14,9 @@ import (
 // connection down (including a consistency kill) aborts the logical
 // connection.
 type WideChannel struct {
-	ends  []*link.End
-	width int // physical width of one lane
+	ends    []*link.End
+	width   int         // physical width of one lane
+	scratch []word.Word // Recv merge buffer, reused every cycle
 }
 
 // NewWideChannel bundles the given lane ends (member 0 carries the least
@@ -24,7 +25,11 @@ func NewWideChannel(ends []*link.End, width int) *WideChannel {
 	if len(ends) == 0 {
 		panic("cascade: wide channel needs at least one lane")
 	}
-	return &WideChannel{ends: append([]*link.End(nil), ends...), width: width}
+	return &WideChannel{
+		ends:    append([]*link.End(nil), ends...),
+		width:   width,
+		scratch: make([]word.Word, len(ends)),
+	}
 }
 
 // Lanes returns the cascade factor.
@@ -32,9 +37,8 @@ func (w *WideChannel) Lanes() int { return len(w.ends) }
 
 // Send stages the logical word across the lanes.
 func (w *WideChannel) Send(x word.Word) {
-	parts := SplitWord(x, len(w.ends), w.width)
 	for k, end := range w.ends {
-		end.Send(parts[k])
+		end.Send(MemberWord(x, k, w.width))
 	}
 }
 
@@ -43,11 +47,10 @@ func (w *WideChannel) Send(x word.Word) {
 // protocol treats as a failed connection — the consistency kill will have
 // asserted BCB in the same breath.
 func (w *WideChannel) Recv() word.Word {
-	members := make([]word.Word, len(w.ends))
 	for k, end := range w.ends {
-		members[k] = end.Recv()
+		w.scratch[k] = end.Recv()
 	}
-	return MergeWords(members, w.width)
+	return MergeWords(w.scratch, w.width)
 }
 
 // SendBCB drives the backward control bit on every lane.

@@ -302,6 +302,14 @@ func (r *Router) ApplySettings(set Settings) error {
 	return nil
 }
 
+// ForwardEnabled reports whether forward port fp is enabled: the cheap
+// per-port read for per-cycle paths that must not deep-copy Settings.
+func (r *Router) ForwardEnabled(fp int) bool { return r.set.ForwardEnabled[fp] }
+
+// BackwardEnabled reports whether backward port bp is enabled: the cheap
+// per-port read for per-cycle paths that must not deep-copy Settings.
+func (r *Router) BackwardEnabled(bp int) bool { return r.set.BackwardEnabled[bp] }
+
 // SetForwardEnabled enables or disables forward port fp during operation.
 //
 //metrovet:mutator models scan-driven port masking (static fault isolation)

@@ -486,6 +486,7 @@ func (n *Network) Close() { n.Engine.StopWorkers() }
 // Send offers a message from src to dest and returns its ID.
 //
 //metrovet:mutator traffic injection entry point; called between cycles or from drivers in the serialized epilogue
+//metrovet:shared traffic drivers run in the serialized epilogue, so injection cannot race shard Evals
 func (n *Network) Send(src, dest int, payload []byte) uint64 {
 	n.nextID++
 	id := n.nextID
@@ -552,6 +553,9 @@ func (n *Network) EachLink(f func(*link.Link)) {
 
 // KillRouter disables every port of a logical router (all cascade lanes),
 // modeling its complete loss.
+//
+//metrovet:shared fault application runs in the serialized epilogue; reconfiguring the victim routers is its purpose
+//metrovet:alloc per-fault-event scratch bounded by the cascade width; faults are rare control events, not per-cycle work
 func (n *Network) KillRouter(stage, index int) {
 	routers := []*core.Router{n.Routers[stage][index]}
 	if g := n.Cascades[stage][index]; g != nil {

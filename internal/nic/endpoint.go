@@ -143,6 +143,7 @@ func (e *Endpoint) SetTracer(t Tracer) { e.cfg.Tracer = t }
 // Offer enqueues a message for delivery.
 //
 //metrovet:mutator traffic injection between cycles; drivers call this before Step
+//metrovet:alloc per-message queue bookkeeping at injection, amortized by the message rather than the cycle
 func (e *Endpoint) Offer(msg Message) {
 	e.queue = append(e.queue, &pending{msg: msg, res: Result{
 		Msg: msg, LastBlockedStage: -1, SuspectStage: -1,
@@ -323,7 +324,7 @@ func (s *sender) begin(cycle uint64, p *pending) {
 	stream := make([]word.Word, 0, len(header)+len(payload)+word.ChecksumWords(lw)+1)
 	stream = append(stream, header...)
 	stream = append(stream, payload...)
-	stream = append(stream, word.SplitChecksum(s.sentCRC, lw)...)
+	stream = word.AppendChecksum(stream, s.sentCRC, lw)
 	s.words = append(stream, word.Word{Kind: word.Turn})
 	// Expected per-stage checksums, one set per lane: each routing
 	// component checksums the slice of the stream its lane carries.
@@ -689,7 +690,7 @@ func (r *receiver) turn(cycle uint64) {
 				rck.Add(w)
 			}
 			reply = append(reply, dw...)
-			reply = append(reply, word.SplitChecksum(rck.Sum(), width)...)
+			reply = word.AppendChecksum(reply, rck.Sum(), width)
 		}
 	}
 	reply = append(reply, word.Word{Kind: word.Turn})

@@ -110,6 +110,7 @@ func (s *Shared) Fork() Source {
 // bitAt returns stream bit idx, generating and buffering as needed.
 func (s *Shared) bitAt(idx uint64) uint32 {
 	for s.base+uint64(len(s.buf)) <= idx {
+		//metrovet:alloc amortized growth of the shared bit buffer; trim recycles the backing array
 		s.buf = append(s.buf, uint8(s.gen.NextBit()))
 	}
 	return uint32(s.buf[idx-s.base])
@@ -128,6 +129,7 @@ func (s *Shared) trim() {
 	}
 	if low > s.base {
 		drop := low - s.base
+		//metrovet:alloc shifts within the existing backing array (append onto s.buf[:0]); never grows
 		s.buf = append(s.buf[:0], s.buf[drop:]...)
 		s.base = low
 	}

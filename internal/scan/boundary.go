@@ -96,9 +96,8 @@ func (b *Boundary) Eval(cycle uint64) {
 	if !b.drive {
 		return
 	}
-	set := b.router.Settings()
-	for bp, enabled := range set.BackwardEnabled {
-		if enabled {
+	for bp := 0; bp < b.router.Config().Outputs; bp++ {
+		if b.router.BackwardEnabled(bp) {
 			continue // never disturb live ports
 		}
 		if end := b.router.BackwardLink(bp); end != nil {

@@ -84,6 +84,8 @@ func SplitChecksum(sum uint8, width int) []Word {
 // AppendChecksum appends the ChecksumWords(width) channel words carrying a
 // CRC-8 value to dst, least-significant chunk first: the allocation-free
 // form of SplitChecksum for per-cycle paths that reuse a scratch buffer.
+//
+//metrovet:alloc appends into caller-owned scratch sized for the stream; steady state reuses capacity
 func AppendChecksum(dst []Word, sum uint8, width int) []Word {
 	n := ChecksumWords(width)
 	v := uint32(sum)
