@@ -1,0 +1,115 @@
+package main_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metro/internal/clitest"
+)
+
+// repoAllowlist is the checked-in hot-path allowlist, relative to this
+// test's working directory (cmd/metrovet).
+const repoAllowlist = "../../docs/bce_allowlist.txt"
+
+// TestBCECleanMatchesAllowlist is the gate CI runs: the bounds checks
+// surviving compilation of the hot-path packages must match the
+// checked-in allowlist exactly, and the report must be byte-identical
+// between a cold and a warm build cache (the compiler replays cached
+// diagnostics; any instability here would make the CI gate flaky).
+func TestBCECleanMatchesAllowlist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	cold := clitest.Run(t, "metrovet", "-bce")
+	warm := clitest.Run(t, "metrovet", "-bce")
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm build cache run differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	if !strings.Contains(string(cold), "match docs/bce_allowlist.txt") {
+		t.Fatalf("clean run should report the allowlist it matched:\n%s", cold)
+	}
+}
+
+// TestBCEDriftFailsBothWays edits a copy of the real allowlist — drops
+// one genuine entry and adds one fabricated entry — and asserts the
+// gate reports the dropped entry as a new surviving check, the
+// fabricated one as stale, and exits 1.
+func TestBCEDriftFailsBothWays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	data, err := os.ReadFile(repoAllowlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	dropped := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if dropped == "" && trimmed != "" && !strings.HasPrefix(trimmed, "#") {
+			dropped = trimmed
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if dropped == "" {
+		t.Fatal("checked-in allowlist has no entries to drop; the fixture needs at least one surviving check")
+	}
+	const fabricated = "internal/word/zzz_no_such_file.go:1:1 IsInBounds"
+	kept = append(kept, fabricated, "")
+
+	path := filepath.Join(t.TempDir(), "allowlist.txt")
+	if err := os.WriteFile(path, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := clitest.ExitCode(t, 1, "metrovet", "-bce", "-bce-allowlist", path)
+	if !strings.Contains(string(out), "new bounds check survives compilation: "+dropped) {
+		t.Fatalf("dropped entry %q should be reported as new:\n%s", dropped, out)
+	}
+	if !strings.Contains(string(out), "stale allowlist entry (check no longer emitted): "+fabricated) {
+		t.Fatalf("fabricated entry should be reported as stale:\n%s", out)
+	}
+}
+
+// TestBCEMissingAllowlist pins the bootstrap failure mode: pointing the
+// gate at a nonexistent allowlist is a usage error (exit 2) whose
+// message says how to generate one — not a silent pass.
+func TestBCEMissingAllowlist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "no_such_allowlist.txt")
+	out := clitest.ExitCode(t, 2, "metrovet", "-bce", "-bce-allowlist", path)
+	if !strings.Contains(string(out), "-bce -bce-write") {
+		t.Fatalf("missing-allowlist error should say how to generate one:\n%s", out)
+	}
+}
+
+// TestBCEWriteRoundTrip regenerates an allowlist into a temp file and
+// immediately gates against it: write → check must always be clean, and
+// the written file must byte-match the checked-in one (proving the
+// repo's allowlist is current).
+func TestBCEWriteRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "allowlist.txt")
+	clitest.Run(t, "metrovet", "-bce-write", "-bce-allowlist", path)
+	clitest.Run(t, "metrovet", "-bce", "-bce-allowlist", path)
+
+	fresh, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := os.ReadFile(repoAllowlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, checked) {
+		t.Fatal("checked-in docs/bce_allowlist.txt is stale; regenerate with `go run ./cmd/metrovet -bce -bce-write`")
+	}
+}

@@ -27,6 +27,14 @@
 //	-write-machines dir   write the extracted machine tables to dir
 //	-check-machines dir   diff the extracted tables against dir, exit 1
 //	                      on any difference (the CI golden gate)
+//	-bce                  compile the hot-path packages with the SSA
+//	                      backend's check_bce debug pass and diff the
+//	                      surviving bounds checks against the allowlist
+//	                      (the CI bounds-check-elimination gate)
+//	-bce-allowlist file   the allowlist -bce diffs against
+//	                      (default docs/bce_allowlist.txt)
+//	-bce-write            regenerate the allowlist from the current
+//	                      compiler output instead of diffing
 //	-v                    also print type-checker diagnostics and cache
 //	                      status (normally silent: a tree that builds
 //	                      has none)
@@ -56,6 +64,9 @@ func main() {
 	printMachines := flag.Bool("machines", false, "print the extracted protocol state machines")
 	writeMachines := flag.String("write-machines", "", "write extracted machine tables to `dir`")
 	checkMachines := flag.String("check-machines", "", "diff extracted tables against `dir`, exit 1 on any difference")
+	bce := flag.Bool("bce", false, "diff surviving hot-path bounds checks against the allowlist")
+	bceAllowlist := flag.String("bce-allowlist", "docs/bce_allowlist.txt", "allowlist `file` for -bce")
+	bceWrite := flag.Bool("bce-write", false, "regenerate the -bce allowlist from current compiler output")
 	verbose := flag.Bool("v", false, "print type-checker diagnostics and cache status")
 	flag.Parse()
 
@@ -72,6 +83,11 @@ func main() {
 	root, err := findModuleRoot()
 	if err != nil {
 		fatal(err)
+	}
+
+	if *bce || *bceWrite {
+		runBCE(root, *bceAllowlist, *bceWrite)
+		return
 	}
 
 	if *printMachines || *writeMachines != "" || *checkMachines != "" {

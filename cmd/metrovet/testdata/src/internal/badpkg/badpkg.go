@@ -22,3 +22,23 @@ func (g *Gadget) Commit(cycle uint64) {}
 func bump() { count() }
 
 func count() { hits++ }
+
+// Slicer breaks the value-range rules on purpose: byte(cycle) truncates
+// an unbounded counter (MV010), the lut index is a field the analysis
+// cannot bound (MV011), and the shift amount on a 32-bit operand is
+// never proven below 32 (MV012).
+type Slicer struct {
+	lut  []byte
+	bits int
+	n    int
+}
+
+func (s *Slicer) Eval(cycle uint64) {
+	s.n++
+	if len(s.lut) != 0 {
+		s.lut[s.n] = byte(cycle)
+	}
+	hits += int(uint32(1) << uint(s.bits))
+}
+
+func (s *Slicer) Commit(cycle uint64) {}

@@ -26,6 +26,12 @@
 //	//metrovet:shared <reason>    — this Eval-phase touch of another
 //	                                component's state is safe (co-located on
 //	                                one shard, or serialized epilogue)
+//	//metrovet:truncate <reason>  — this narrowing conversion is an
+//	                                intended truncation
+//	//metrovet:bounds <reason>    — this index is guaranteed in bounds by
+//	                                an invariant the analysis cannot see
+//	//metrovet:width <reason>     — this width/shift amount is validated
+//	                                outside the analyzed region
 //	//metrovet:ignore <rule> <reason> — suppress any rule on this line
 //
 // A directive with no reason does not suppress anything: the justification
@@ -81,6 +87,9 @@ func Analyzers() []*Analyzer {
 		HotPathAlloc(),
 		EvalIsolation(),
 		ShardPurity(),
+		TruncatingConversion(),
+		ProvableBounds(),
+		WidthContract(),
 	}
 }
 
@@ -224,7 +233,7 @@ func parseDirective(text string) (directive, bool) {
 	kind, rest, _ := strings.Cut(body, " ")
 	rest = strings.TrimSpace(rest)
 	switch kind {
-	case "ordered", "mutator", "nonexhaustive", "alloc", "shared":
+	case "ordered", "mutator", "nonexhaustive", "alloc", "shared", "truncate", "bounds", "width":
 		if rest == "" {
 			return directive{}, false
 		}

@@ -30,6 +30,9 @@ var ruleIDs = map[string]string{
 	"hot-path-alloc":         "MV007",
 	"eval-isolation":         "MV008",
 	"shard-purity":           "MV009",
+	"truncating-conversion":  "MV010",
+	"provable-bounds":        "MV011",
+	"width-contract":         "MV012",
 }
 
 // RuleID returns the stable MVnnn ID for a rule name ("MV000" for a rule

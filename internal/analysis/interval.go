@@ -1,0 +1,941 @@
+package analysis
+
+// The abstract value domain for the value-range rules (MV010–MV012): an
+// interval × known-bits lattice over Go's integer types.
+//
+// An AbsVal abstracts the set of values an integer expression can take:
+//
+//   - the *interval* part bounds the mathematical value, [Lo, Hi] with
+//     saturating int64 endpoints. 64-bit unsigned values that may exceed
+//     MaxInt64 cannot be represented as an int64 interval; they carry the
+//     Wide flag, which disables every interval-based proof (conservative:
+//     Wide never proves anything).
+//   - the *known-bits* part records individual bits of the value's
+//     two's-complement representation: where Mask has a 1, the value's
+//     bit equals the corresponding bit of Bits. To avoid sign-extension
+//     subtleties, known bits are only ever claimed for values proven
+//     nonnegative; every transfer function that could produce a negative
+//     result drops them.
+//
+// Both parts abstract the same value, so each transfer function may
+// tighten one part from the other (an AND with 0xff bounds the interval
+// at 255; an interval of [0, 7] pins bits 3..63 to zero). Soundness —
+// the concrete result of an operation is always enclosed by the abstract
+// result of the same operation on enclosing inputs — is fuzzed against
+// concrete execution by FuzzIntervalSoundness.
+//
+// The lattice is used by valuerange.go, which runs the transfer
+// functions over function bodies with branch refinement and loop
+// fixpoints, interprocedurally to a fixpoint over the PR-6 call graph.
+
+import (
+	"fmt"
+	"go/types"
+	"math"
+	"math/bits"
+)
+
+// AbsVal is one abstract integer value. The zero value is bottom (no
+// value observed yet), the identity for Join.
+type AbsVal struct {
+	// Bot marks bottom: no concrete value reaches this point yet.
+	Bot bool
+	// Wide marks a 64-bit unsigned value that may exceed MaxInt64; the
+	// interval part is then meaningless (Lo/Hi are set to [0, MaxInt64]
+	// for printing only) and no interval proof may use it.
+	Wide bool
+	// Lo and Hi bound the value, inclusive, saturating at the int64
+	// limits (an endpoint at MinInt64/MaxInt64 reads "unbounded").
+	Lo, Hi int64
+	// Mask/Bits are the known bits: where Mask is 1 the value's bit
+	// equals the bit of Bits. Nonzero only for provably nonnegative
+	// values.
+	Mask, Bits uint64
+}
+
+// absBottom is the join identity.
+func absBottom() AbsVal { return AbsVal{Bot: true} }
+
+// absAny is top: a completely unknown int64-ranged value.
+func absAny() AbsVal { return AbsVal{Lo: math.MinInt64, Hi: math.MaxInt64} }
+
+// absWide is top for 64-bit unsigned values.
+func absWide() AbsVal { return AbsVal{Wide: true, Lo: 0, Hi: math.MaxInt64} }
+
+// absConst abstracts a single known value.
+func absConst(v int64) AbsVal {
+	a := AbsVal{Lo: v, Hi: v}
+	if v >= 0 {
+		a.Mask, a.Bits = ^uint64(0), uint64(v)
+	}
+	return a
+}
+
+// absConstU abstracts a single known unsigned value, which may exceed
+// MaxInt64 (the known-bits part stays exact even when the interval
+// cannot represent it).
+func absConstU(v uint64) AbsVal {
+	if v <= math.MaxInt64 {
+		return absConst(int64(v))
+	}
+	return AbsVal{Wide: true, Lo: 0, Hi: math.MaxInt64, Mask: ^uint64(0), Bits: v}
+}
+
+// absRange abstracts the inclusive interval [lo, hi].
+func absRange(lo, hi int64) AbsVal {
+	if lo > hi {
+		return absBottom()
+	}
+	return AbsVal{Lo: lo, Hi: hi}.normalize()
+}
+
+// IsConst reports whether the value is a single known point, and that
+// point.
+func (a AbsVal) IsConst() (int64, bool) {
+	if !a.Bot && !a.Wide && a.Lo == a.Hi {
+		return a.Lo, true
+	}
+	return 0, false
+}
+
+// In reports whether every value abstracted by a provably lies within
+// [lo, hi]. Bottom (dead code) proves everything; Wide proves nothing.
+func (a AbsVal) In(lo, hi int64) bool {
+	if a.Bot {
+		return true
+	}
+	if a.Wide {
+		return false
+	}
+	return a.Lo >= lo && a.Hi <= hi
+}
+
+// NonNegative reports whether the value is provably >= 0.
+func (a AbsVal) NonNegative() bool { return a.Bot || a.Wide || a.Lo >= 0 }
+
+// String renders the value for finding messages: "[lo, hi]" with
+// unbounded endpoints printed as "-inf"/"+inf".
+func (a AbsVal) String() string {
+	if a.Bot {
+		return "[unreachable]"
+	}
+	if a.Wide {
+		return "[0, +inf]"
+	}
+	lo, hi := "-inf", "+inf"
+	if a.Lo != math.MinInt64 {
+		lo = fmt.Sprintf("%d", a.Lo)
+	}
+	if a.Hi != math.MaxInt64 {
+		hi = fmt.Sprintf("%d", a.Hi)
+	}
+	return fmt.Sprintf("[%s, %s]", lo, hi)
+}
+
+// normalize reconciles the two halves: known bits tighten the interval
+// (for nonnegative values) and an impossible combination degrades to
+// dropping the known bits rather than claiming bottom (refinement sites
+// handle true contradictions). It also enforces the nonnegative-only
+// known-bits invariant.
+func (a AbsVal) normalize() AbsVal {
+	if a.Bot {
+		return AbsVal{Bot: true}
+	}
+	if !a.Wide && a.Lo < 0 {
+		// Possibly negative: known bits are not maintained.
+		a.Mask, a.Bits = 0, 0
+		return a
+	}
+	if a.Mask == 0 {
+		return a
+	}
+	a.Bits &= a.Mask // canonical: unknown bit positions are zero in Bits
+	minPossible := a.Bits
+	maxPossible := a.Bits | ^a.Mask
+	if maxPossible <= math.MaxInt64 {
+		if a.Wide {
+			a.Wide = false
+			a.Lo, a.Hi = 0, math.MaxInt64
+		}
+		if int64(maxPossible) < a.Hi {
+			a.Hi = int64(maxPossible)
+		}
+	}
+	if !a.Wide && minPossible <= math.MaxInt64 && int64(minPossible) > a.Lo {
+		a.Lo = int64(minPossible)
+	}
+	if !a.Wide && a.Lo > a.Hi {
+		// The two halves disagree; keep the interval, drop the bits.
+		a.Mask, a.Bits = 0, 0
+	}
+	return a
+}
+
+// Join is the lattice join: the smallest AbsVal enclosing both.
+func (a AbsVal) Join(b AbsVal) AbsVal {
+	if a.Bot {
+		return b
+	}
+	if b.Bot {
+		return a
+	}
+	out := AbsVal{
+		Wide: a.Wide || b.Wide,
+		Lo:   min64(a.Lo, b.Lo),
+		Hi:   max64(a.Hi, b.Hi),
+	}
+	agree := a.Mask & b.Mask &^ (a.Bits ^ b.Bits)
+	out.Mask = agree
+	out.Bits = a.Bits & agree
+	if out.Wide {
+		out.Lo, out.Hi = 0, math.MaxInt64
+	}
+	return out.normalize()
+}
+
+// Meet intersects the interval parts (used by branch refinement). An
+// empty intersection returns bottom: the refined branch is unreachable.
+func (a AbsVal) Meet(b AbsVal) AbsVal {
+	if a.Bot || b.Bot {
+		return AbsVal{Bot: true}
+	}
+	if a.Wide && b.Wide {
+		out := AbsVal{Wide: true, Lo: 0, Hi: math.MaxInt64}
+		out.Mask = a.Mask | b.Mask
+		out.Bits = (a.Bits & a.Mask) | (b.Bits & b.Mask)
+		return out.normalize()
+	}
+	// One wide side: the wide value is nonnegative (it is a 64-bit
+	// unsigned quantity) and the finite side's bounds hold, so the
+	// intersection is the finite interval clipped to [0, +inf].
+	if a.Wide {
+		a = AbsVal{Lo: 0, Hi: math.MaxInt64, Mask: a.Mask, Bits: a.Bits}
+	}
+	if b.Wide {
+		b = AbsVal{Lo: 0, Hi: math.MaxInt64, Mask: b.Mask, Bits: b.Bits}
+	}
+	out := AbsVal{Lo: max64(a.Lo, b.Lo), Hi: min64(a.Hi, b.Hi)}
+	if out.Lo > out.Hi {
+		return AbsVal{Bot: true}
+	}
+	out.Mask = a.Mask | b.Mask
+	out.Bits = (a.Bits & a.Mask) | (b.Bits & b.Mask)
+	return out.normalize()
+}
+
+// intType describes an integer type's machine shape for clamping.
+type intType struct {
+	bits   int
+	signed bool
+}
+
+// typeShape resolves a go/types type to its integer shape; ok is false
+// for non-integer types.
+func typeShape(t types.Type) (intType, bool) {
+	if t == nil {
+		return intType{}, false
+	}
+	b, okb := t.Underlying().(*types.Basic)
+	if !okb {
+		return intType{}, false
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return intType{8, true}, true
+	case types.Int16:
+		return intType{16, true}, true
+	case types.Int32, types.UntypedRune:
+		return intType{32, true}, true
+	case types.Int, types.Int64, types.UntypedInt:
+		return intType{64, true}, true
+	case types.Uint8:
+		return intType{8, false}, true
+	case types.Uint16:
+		return intType{16, false}, true
+	case types.Uint32:
+		return intType{32, false}, true
+	case types.Uint, types.Uint64, types.Uintptr:
+		return intType{64, false}, true
+	}
+	return intType{}, false
+}
+
+// rangeOf returns the representable interval of the shape ([0, MaxInt64]
+// with Wide semantics for 64-bit unsigned).
+func rangeOf(it intType) AbsVal {
+	switch {
+	case it.signed && it.bits == 64:
+		return absAny()
+	case it.signed:
+		h := int64(1)<<uint(it.bits-1) - 1
+		return AbsVal{Lo: -h - 1, Hi: h}
+	case it.bits == 64:
+		return absWide()
+	default:
+		return AbsVal{Lo: 0, Hi: int64(1)<<uint(it.bits) - 1}
+	}
+}
+
+// fits reports whether every value of a is representable in shape it
+// without change. Wide values fit only the 64-bit unsigned shape.
+func (a AbsVal) fits(it intType) bool {
+	if a.Bot {
+		return true
+	}
+	if a.Wide {
+		return !it.signed && it.bits == 64
+	}
+	r := rangeOf(it)
+	if r.Wide {
+		return a.Lo >= 0
+	}
+	return a.Lo >= r.Lo && a.Hi <= r.Hi
+}
+
+// clamp folds a computed abstract value into a result type: values that
+// fit pass through (with known bits normalized); values that may
+// overflow wrap unpredictably and degrade to the type's full range.
+func (a AbsVal) clamp(it intType) AbsVal {
+	a = a.normalize()
+	if a.Bot {
+		return a
+	}
+	if a.fits(it) {
+		return a
+	}
+	// Wrapping: nothing is known about the interval any more, and known
+	// bits are dropped too (they were computed pre-wrap; only conversions
+	// preserve low bits, and absConvert handles that itself).
+	return rangeOf(it)
+}
+
+// --- transfer functions -------------------------------------------------
+//
+// Every function takes operand abstractions and returns the abstraction
+// of the Go operation's mathematical result BEFORE type clamping; the
+// evaluator clamps to the static result type. Operands that are Bot
+// short-circuit to Bot (dead code stays dead).
+
+func transfer2(a, b AbsVal) (AbsVal, bool) {
+	if a.Bot || b.Bot {
+		return AbsVal{Bot: true}, true
+	}
+	return AbsVal{}, false
+}
+
+// satAddOvf/satSubOvf/satMulOvf saturate at the int64 limits and report
+// whether saturation actually occurred — i.e. the mathematical result
+// lies outside int64. The distinction matters: MaxInt64 produced
+// exactly (MaxInt64-1 + 1) is a legal value and interval proofs may use
+// it, while a saturated MaxInt64 means the concrete operation wrapped
+// and the transfer function must degrade to top, or a wrapped value
+// would escape its abstraction (caught by FuzzIntervalSoundness:
+// MaxInt32 << 78 is 0, not [MaxInt64, MaxInt64]).
+func satAddOvf(a, b int64) (int64, bool) {
+	s, _ := bits.Add64(uint64(a), uint64(b), 0)
+	r := int64(s)
+	if (a > 0 && b > 0 && r < 0) || (a < 0 && b < 0 && r >= 0) {
+		if a > 0 {
+			return math.MaxInt64, true
+		}
+		return math.MinInt64, true
+	}
+	return r, false
+}
+
+func satSubOvf(a, b int64) (int64, bool) {
+	d := a - b // wrapping; the comparisons below detect it
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		if b < 0 {
+			return math.MaxInt64, true
+		}
+		return math.MinInt64, true
+	}
+	return d, false
+}
+
+func satMulOvf(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	if a == 1 {
+		return b, false
+	}
+	if b == 1 {
+		return a, false
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		// |MinInt64| times any factor of magnitude >= 2 overflows (the
+		// factor-1 cases returned above).
+		if (a < 0) != (b < 0) {
+			return math.MinInt64, true
+		}
+		return math.MaxInt64, true
+	}
+	hi, lo := bits.Mul64(uint64(abs64(a)), uint64(abs64(b)))
+	neg := (a < 0) != (b < 0)
+	if hi != 0 || (!neg && lo > math.MaxInt64) || (neg && lo > uint64(math.MaxInt64)+1) {
+		if neg {
+			return math.MinInt64, true
+		}
+		return math.MaxInt64, true
+	}
+	if neg {
+		if lo == uint64(math.MaxInt64)+1 {
+			return math.MinInt64, false // -2^63 exactly
+		}
+		return -int64(lo), false
+	}
+	return int64(lo), false
+}
+
+// satAdd and satSub are the flag-free forms for callers that only
+// tighten bounds (length arithmetic, abstraction builders), where
+// saturation stays conservative.
+func satAdd(a, b int64) int64 { r, _ := satAddOvf(a, b); return r }
+
+func satSub(a, b int64) int64 { r, _ := satSubOvf(a, b); return r }
+
+func abs64(v int64) int64 {
+	if v == math.MinInt64 {
+		return math.MaxInt64 // saturate; only feeds further saturation
+	}
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// wideOperand reports whether interval reasoning must be abandoned for
+// the pair (either side may exceed int64).
+func wideOperand(a, b AbsVal) bool { return a.Wide || b.Wide }
+
+// absAdd abstracts a + b. A corner that overflows int64 means the
+// concrete operation may wrap, so the result degrades to top (clamp
+// then folds it to the result type's range).
+func absAdd(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	if wideOperand(a, b) {
+		return absWide()
+	}
+	lo, lov := satAddOvf(a.Lo, b.Lo)
+	hi, hov := satAddOvf(a.Hi, b.Hi)
+	if lov || hov {
+		return absAny()
+	}
+	return AbsVal{Lo: lo, Hi: hi}.normalize()
+}
+
+// absSub abstracts a - b.
+func absSub(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	if wideOperand(a, b) {
+		return AbsVal{Lo: math.MinInt64, Hi: math.MaxInt64}
+	}
+	lo, lov := satSubOvf(a.Lo, b.Hi)
+	hi, hov := satSubOvf(a.Hi, b.Lo)
+	if lov || hov {
+		return absAny()
+	}
+	return AbsVal{Lo: lo, Hi: hi}.normalize()
+}
+
+// absMul abstracts a * b.
+func absMul(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	if wideOperand(a, b) {
+		if a.NonNegative() && b.NonNegative() {
+			return absWide()
+		}
+		return absAny()
+	}
+	c1, o1 := satMulOvf(a.Lo, b.Lo)
+	c2, o2 := satMulOvf(a.Lo, b.Hi)
+	c3, o3 := satMulOvf(a.Hi, b.Lo)
+	c4, o4 := satMulOvf(a.Hi, b.Hi)
+	if o1 || o2 || o3 || o4 {
+		return absAny()
+	}
+	return AbsVal{
+		Lo: min64(min64(c1, c2), min64(c3, c4)),
+		Hi: max64(max64(c1, c2), max64(c3, c4)),
+	}.normalize()
+}
+
+// absDiv abstracts a / b (Go: truncated toward zero). Division by zero
+// panics at runtime, so the abstraction covers only the executions that
+// continue; a divisor interval containing zero degrades to the
+// division's worst case over the nonzero part.
+func absDiv(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	if wideOperand(a, b) {
+		if a.NonNegative() && b.NonNegative() {
+			return absWide()
+		}
+		return absAny()
+	}
+	// Split the divisor around zero and join the two sides.
+	out := absBottom()
+	if b.Hi >= 1 {
+		pos := AbsVal{Lo: max64(b.Lo, 1), Hi: b.Hi}
+		out = out.Join(divCorners(a, pos))
+	}
+	if b.Lo <= -1 {
+		neg := AbsVal{Lo: b.Lo, Hi: min64(b.Hi, -1)}
+		out = out.Join(divCorners(a, neg))
+	}
+	if out.Bot {
+		// Divisor is exactly zero: the operation always panics; the
+		// continuing execution set is empty.
+		return AbsVal{Bot: true}
+	}
+	return out.normalize()
+}
+
+// divCorners evaluates truncated division at the interval corners; sound
+// when b does not contain zero (the quotient is monotone in each
+// argument on each sign of b). If MinInt64/-1 is reachable the concrete
+// quotient wraps (Go defines it as MinInt64), so the result degrades to
+// the full range rather than pretending the quotient stayed ordered.
+func divCorners(a, b AbsVal) AbsVal {
+	if a.Lo == math.MinInt64 && b.Lo <= -1 && b.Hi >= -1 {
+		return AbsVal{Lo: math.MinInt64, Hi: math.MaxInt64}
+	}
+	c1, c2 := a.Lo/b.Lo, a.Lo/b.Hi
+	c3, c4 := a.Hi/b.Lo, a.Hi/b.Hi
+	return AbsVal{
+		Lo: min64(min64(c1, c2), min64(c3, c4)),
+		Hi: max64(max64(c1, c2), max64(c3, c4)),
+	}
+}
+
+// absMod abstracts a % b (Go: result takes the dividend's sign,
+// |result| < |b|, |result| <= |a|).
+func absMod(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	if a.Wide {
+		// Unsigned dividend: 0 <= r < |b| and r <= a.
+		if !b.Wide {
+			bm := max64(abs64(b.Lo), abs64(b.Hi))
+			if bm > 0 {
+				return AbsVal{Lo: 0, Hi: bm - 1}.normalize()
+			}
+			return AbsVal{Bot: true} // b == 0 always panics
+		}
+		return absWide()
+	}
+	bound := int64(math.MaxInt64)
+	if !b.Wide {
+		bm := max64(abs64(b.Lo), abs64(b.Hi))
+		if bm == 0 {
+			return AbsVal{Bot: true} // b == 0 always panics
+		}
+		bound = bm - 1
+	}
+	// The result shares the dividend's sign and |r| <= |a| holds per
+	// value, so each side is bounded by the dividend's reach on that
+	// side as well as by |b| - 1.
+	lo := max64(-bound, a.Lo)
+	if a.Lo >= 0 {
+		lo = 0
+	}
+	hi := min64(bound, a.Hi)
+	if a.Hi <= 0 {
+		hi = 0
+	}
+	return AbsVal{Lo: lo, Hi: hi}.normalize()
+}
+
+// absNeg abstracts -a.
+func absNeg(a AbsVal) AbsVal {
+	if a.Bot {
+		return a
+	}
+	if a.Wide {
+		return absAny()
+	}
+	lo, lov := satSubOvf(0, a.Hi)
+	hi, hov := satSubOvf(0, a.Lo)
+	if lov || hov {
+		return absAny() // -MinInt64 wraps
+	}
+	return AbsVal{Lo: lo, Hi: hi}.normalize()
+}
+
+// absNot abstracts ^a (bitwise complement) = -a - 1.
+func absNot(a AbsVal) AbsVal {
+	return absSub(absNeg(a), absConst(1))
+}
+
+// shiftRange clamps the shift-amount interval to [0, 63]: Go panics on
+// negative shifts (the continuing executions have k >= 0), and shifting
+// by >= 64 behaves like 64 for every type this lattice models.
+func shiftRange(k AbsVal) (lo, hi uint, exact bool) {
+	if k.Wide {
+		return 0, 63, false
+	}
+	klo, khi := max64(k.Lo, 0), k.Hi
+	if khi > 63 {
+		khi = 63
+	}
+	if khi < klo {
+		khi = klo
+	}
+	return uint(klo), uint(khi), k.Lo == k.Hi && k.Lo >= 0 && k.Lo <= 63
+}
+
+// absShl abstracts a << k.
+func absShl(a, k AbsVal) AbsVal {
+	if r, done := transfer2(a, k); done {
+		return r
+	}
+	klo, khi, exact := shiftRange(k)
+	if a.Wide {
+		out := absWide()
+		if exact {
+			out.Mask = a.Mask<<klo | (1<<klo - 1)
+			out.Bits = a.Bits << klo
+		}
+		return out.normalize()
+	}
+	if k.Wide || k.Hi > 63 {
+		// A count at or past the operand width shifts everything out:
+		// the concrete result wraps (to zero), not saturates.
+		return absAny()
+	}
+	if k.Hi < 0 {
+		return absBottom() // negative count always panics; no execution continues
+	}
+	shl := func(x int64, s uint) (int64, bool) {
+		if x == 0 {
+			return 0, false
+		}
+		r := x << s
+		if r>>s != x {
+			if x > 0 {
+				return math.MaxInt64, true
+			}
+			return math.MinInt64, true
+		}
+		return r, false
+	}
+	c1, o1 := shl(a.Lo, klo)
+	c2, o2 := shl(a.Lo, khi)
+	c3, o3 := shl(a.Hi, klo)
+	c4, o4 := shl(a.Hi, khi)
+	if o1 || o2 || o3 || o4 {
+		return absAny()
+	}
+	out := AbsVal{
+		Lo: min64(min64(c1, c2), min64(c3, c4)),
+		Hi: max64(max64(c1, c2), max64(c3, c4)),
+	}
+	if exact && a.Lo >= 0 {
+		out.Mask = a.Mask<<klo | (1<<klo - 1)
+		out.Bits = a.Bits << klo
+	}
+	return out.normalize()
+}
+
+// absShr abstracts a >> k (arithmetic for negative values, logical
+// otherwise — which is what Go's int64 semantics give for the modeled
+// value).
+func absShr(a, k AbsVal) AbsVal {
+	if r, done := transfer2(a, k); done {
+		return r
+	}
+	klo, khi, exact := shiftRange(k)
+	if a.Wide {
+		out := absWide()
+		if klo >= 1 {
+			// Any shift of at least one bit brings a 64-bit value into
+			// int64 range.
+			out = AbsVal{Lo: 0, Hi: math.MaxInt64 >> (klo - 1)}
+			if klo > 1 {
+				out.Hi >>= 1 // conservative: MaxUint64 >> klo
+				out.Hi = int64(^uint64(0) >> klo)
+				out.Lo = 0
+			} else {
+				out.Hi = int64(^uint64(0) >> 1)
+			}
+		}
+		if exact {
+			out.Mask = a.Mask>>klo | ^(^uint64(0) >> klo)
+			out.Bits = a.Bits >> klo
+		}
+		return out.normalize()
+	}
+	shr := func(x int64, s uint) int64 { return x >> s }
+	// For nonnegative x, x>>k decreases with k; for negative it
+	// increases toward -1. Corner evaluation covers both.
+	c1, c2 := shr(a.Lo, klo), shr(a.Lo, khi)
+	c3, c4 := shr(a.Hi, klo), shr(a.Hi, khi)
+	out := AbsVal{
+		Lo: min64(min64(c1, c2), min64(c3, c4)),
+		Hi: max64(max64(c1, c2), max64(c3, c4)),
+	}
+	if exact && a.Lo >= 0 {
+		out.Mask = a.Mask>>klo | ^(^uint64(0) >> klo)
+		out.Bits = a.Bits >> klo
+	}
+	return out.normalize()
+}
+
+// knownParts splits the known-bits into (known-zeros, known-ones).
+func (a AbsVal) knownParts() (zeros, ones uint64) {
+	return a.Mask &^ a.Bits, a.Mask & a.Bits
+}
+
+// bitCap returns the smallest n with 2^n > hi, i.e. every value in
+// [0, hi] fits in n bits.
+func bitCap(hi int64) int {
+	if hi <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(hi))
+}
+
+// highZeros returns known-zero bits implied by the interval: a value in
+// [0, hi] has every bit above bitCap(hi) clear.
+func (a AbsVal) highZeros() uint64 {
+	if a.Bot || a.Wide || a.Lo < 0 {
+		return 0
+	}
+	n := bitCap(a.Hi)
+	if n >= 64 {
+		return 0
+	}
+	return ^uint64(0) << uint(n)
+}
+
+// absAnd abstracts a & b.
+func absAnd(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	za, oa := a.knownParts()
+	zb, ob := b.knownParts()
+	za |= a.highZeros()
+	zb |= b.highZeros()
+	out := AbsVal{}
+	zeros := za | zb
+	ones := oa & ob
+	out.Mask = zeros | ones
+	out.Bits = ones
+	if a.NonNegative() && !a.Wide || b.NonNegative() && !b.Wide {
+		// x & y <= min(x, y) when either side is nonnegative.
+		hi := int64(math.MaxInt64)
+		if !a.Wide && a.Lo >= 0 {
+			hi = min64(hi, a.Hi)
+		}
+		if !b.Wide && b.Lo >= 0 {
+			hi = min64(hi, b.Hi)
+		}
+		out.Lo, out.Hi = 0, hi
+		if !a.NonNegative() || !b.NonNegative() {
+			// A negative operand can switch the sign bit on ... but the
+			// nonnegative operand's zero sign bit forces the result
+			// nonnegative, so [0, hi] stands.
+			_ = hi
+		}
+		return out.normalize()
+	}
+	if a.Wide || b.Wide {
+		out.Wide, out.Lo, out.Hi = true, 0, math.MaxInt64
+		return out.normalize()
+	}
+	out.Lo, out.Hi = math.MinInt64, math.MaxInt64
+	return out.normalize()
+}
+
+// absOr abstracts a | b.
+func absOr(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	za, oa := a.knownParts()
+	zb, ob := b.knownParts()
+	za |= a.highZeros()
+	zb |= b.highZeros()
+	out := AbsVal{}
+	zeros := za & zb
+	ones := oa | ob
+	out.Mask = zeros | ones
+	out.Bits = ones
+	if a.Wide || b.Wide {
+		out.Wide, out.Lo, out.Hi = true, 0, math.MaxInt64
+		if !a.NonNegative() || !b.NonNegative() {
+			out = absAny()
+		}
+		return out.normalize()
+	}
+	if a.Lo >= 0 && b.Lo >= 0 {
+		n := max64(int64(bitCap(a.Hi)), int64(bitCap(b.Hi)))
+		hi := int64(math.MaxInt64)
+		if n < 63 {
+			hi = int64(1)<<uint(n) - 1
+		}
+		out.Lo, out.Hi = max64(a.Lo, b.Lo), hi
+		return out.normalize()
+	}
+	out.Lo, out.Hi = math.MinInt64, math.MaxInt64
+	return out.normalize()
+}
+
+// absXor abstracts a ^ b.
+func absXor(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	za, oa := a.knownParts()
+	zb, ob := b.knownParts()
+	za |= a.highZeros()
+	zb |= b.highZeros()
+	out := AbsVal{}
+	known := (za | oa) & (zb | ob)
+	val := (oa ^ ob) & known
+	out.Mask = known
+	out.Bits = val
+	if !a.Wide && !b.Wide && a.Lo >= 0 && b.Lo >= 0 {
+		n := max64(int64(bitCap(a.Hi)), int64(bitCap(b.Hi)))
+		hi := int64(math.MaxInt64)
+		if n < 63 {
+			hi = int64(1)<<uint(n) - 1
+		}
+		out.Lo, out.Hi = 0, hi
+		return out.normalize()
+	}
+	if a.Wide || b.Wide {
+		if a.NonNegative() && b.NonNegative() {
+			out.Wide, out.Lo, out.Hi = true, 0, math.MaxInt64
+			return out.normalize()
+		}
+	}
+	out.Lo, out.Hi = math.MinInt64, math.MaxInt64
+	return out.normalize()
+}
+
+// absAndNot abstracts a &^ b: a AND (NOT b).
+func absAndNot(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	// NOT b swaps known zeros and ones; high-zero interval knowledge of b
+	// becomes high ones, which absAnd's zero side ignores safely.
+	zb, ob := b.knownParts()
+	nb := AbsVal{Lo: math.MinInt64, Hi: math.MaxInt64}
+	nb.Mask = zb | ob
+	nb.Bits = zb
+	// Keep a's nonnegativity: route through absAnd.
+	return absAnd(a, nb)
+}
+
+// absMin abstracts the min builtin.
+func absMin(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	if a.Wide && b.Wide {
+		return absWide()
+	}
+	lo := min64(a.Lo, b.Lo)
+	var hi int64
+	switch {
+	case a.Wide:
+		hi = b.Hi
+		lo = min64(0, b.Lo)
+	case b.Wide:
+		hi = a.Hi
+		lo = min64(0, a.Lo)
+	default:
+		hi = min64(a.Hi, b.Hi)
+	}
+	return AbsVal{Lo: lo, Hi: hi}.normalize()
+}
+
+// absMax abstracts the max builtin.
+func absMax(a, b AbsVal) AbsVal {
+	if r, done := transfer2(a, b); done {
+		return r
+	}
+	if a.Wide || b.Wide {
+		out := absWide()
+		return out
+	}
+	return AbsVal{Lo: max64(a.Lo, b.Lo), Hi: max64(a.Hi, b.Hi)}.normalize()
+}
+
+// absConvert abstracts a conversion of a (of shape from) to shape to,
+// modeling Go's two's-complement truncation/extension exactly: a value
+// that fits passes through; one that does not keeps only its low
+// target-width bits (known bits survive truncation, the interval
+// restarts from them).
+func absConvert(a AbsVal, from, to intType) AbsVal {
+	if a.Bot {
+		return a
+	}
+	if a.fits(to) {
+		// Value-preserving; just ensure the representation invariants.
+		out := a.normalize()
+		if !to.signed && to.bits == 64 && !out.Wide && out.Lo >= 0 {
+			return out
+		}
+		return out
+	}
+	// Truncation/wrap: the low to.bits bits of the two's-complement
+	// representation survive. Known bits narrow with the value.
+	if to.bits == 64 {
+		if to.signed {
+			// A Wide unsigned reinterpreted as int64: top.
+			return absAny()
+		}
+		// int64 -> uint64 with possible negatives: top for uint64, but a
+		// provably-negative ... wraps high; nothing useful.
+		return absWide()
+	}
+	width := uint(to.bits)
+	lowMask := uint64(1)<<width - 1
+	known := a.Mask & lowMask
+	val := a.Bits & known
+	if !to.signed {
+		out := AbsVal{Lo: 0, Hi: int64(lowMask)}
+		// Bits above the width are known zero after the conversion.
+		out.Mask = known | ^lowMask
+		out.Bits = val
+		return out.normalize()
+	}
+	// Signed narrow target: if the target sign bit is known zero, the
+	// result is the nonnegative low bits; otherwise full target range.
+	signBit := uint64(1) << (width - 1)
+	if known&signBit != 0 && val&signBit == 0 {
+		out := AbsVal{Lo: 0, Hi: int64(lowMask >> 1)}
+		out.Mask = known | ^lowMask
+		out.Bits = val
+		return out.normalize()
+	}
+	return rangeOf(to)
+}

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"go/token"
+	"math"
+	"testing"
+)
+
+// FuzzIntervalSoundness checks the one property every transfer function
+// of the abstract domain must have: if abstract values enclose concrete
+// inputs, then the abstract result of an operation encloses the concrete
+// result of the same operation — for every integer shape, including the
+// wrap-on-overflow semantics the evaluator models by composing the
+// transfer function with clamp (exactly as evalBinary does).
+//
+// Each fuzz input picks an integer shape, two concrete values of that
+// shape, an operation, and two "abstraction recipes" that widen the
+// concrete inputs into enclosing AbsVals (exact constant, join with a
+// second point, a surrounding interval, the type's full range). The
+// concrete operation runs in real Go arithmetic at the shape's width;
+// the abstract pipeline must enclose what came out.
+//
+// Run continuously: go test ./internal/analysis -run '^$' -fuzz FuzzIntervalSoundness
+func FuzzIntervalSoundness(f *testing.F) {
+	// One seed per operation class, plus the historic trouble spots:
+	// wrap-around at the type limit, MinInt64 negation/division corners,
+	// 64-bit unsigned values beyond MaxInt64 (the Wide half-lattice),
+	// and shift counts at and past the operand width.
+	seeds := [][7]uint64{
+		{0, 0, 0, 0, 0, 0, 0},
+		{opAdd, 3, 0, 0, math.MaxUint32, 1, 0},                         // uint32 wrap
+		{opSub, 7, 1, 1, 0, 1, 5},                                      // int64 borrow
+		{opMul, 2, 2, 0, 200, 2, 77},                                   // uint16 overflow
+		{opQuo, 7, 0, 0, uint64(math.MaxInt64) + 1, ^uint64(0), 0},     // MinInt64 / -1
+		{opRem, 6, 3, 0, 12345, 64, 9},                                 // power-of-two mod
+		{opShl, 5, 0, 3, 0x8000_0000, 1, 3},                            // uint64 into Wide
+		{opShr, 1, 0, 0, 0x80, 100, 0},                                 // count past width
+		{opAnd, 5, 2, 2, ^uint64(0), 0xff, 1},                          // Wide & mask
+		{opOr, 4, 3, 3, 0x0f, 0xf0, 2},                                 // disjoint known bits
+		{opXor, 0, 0, 1, 0x55, 0xaa, 0},                                // int8 sign flip
+		{opAndNot, 6, 1, 0, ^uint64(0) >> 1, 7, 0},                     //
+		{opNeg, 7, 0, 0, uint64(math.MaxInt64) + 1, 0, 0},              // -MinInt64
+		{opNot, 5, 0, 0, 0, 0, 0},                                      // ^0 exceeds MaxInt64
+		{opConvert, 5, 0, 0, ^uint64(0), 0, 3},                         // uint64 -> int32
+		{opMin, 7, 1, 1, uint64(math.MaxInt64), ^uint64(0), 0},         //
+		{opMax, 5, 3, 3, ^uint64(0), 1, 0},                             // Wide max
+		{opJoin, 3, 0, 0, 1, uint64(math.MaxInt64) + 7, 0},             //
+		{opMeet, 5, 2, 3, uint64(math.MaxInt64) + 99, 0, 0xffff_ffff},  //
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], s[4], s[5], s[6])
+	}
+
+	f.Fuzz(func(t *testing.T, opSel, typSel, xShape, yShape, x, y, aux uint64) {
+		it := fuzzShapes[typSel%uint64(len(fuzzShapes))]
+		op := opSel % (opMeet + 1)
+		cx := canonBits(x, it)
+		cy := canonBits(y, it)
+		ax := abstractOf(cx, it, xShape, aux)
+		ay := abstractOf(cy, it, yShape, aux>>21)
+		if !encloses(ax, cx, it) || !encloses(ay, cy, it) {
+			t.Fatalf("abstraction recipe broken: %v ∌ %#x or %v ∌ %#x (shape %+v)", ax, cx, ay, cy, it)
+		}
+
+		switch op {
+		case opNeg, opNot:
+			var cr uint64
+			var ar AbsVal
+			if op == opNeg {
+				cr, ar = canonBits(-cx, it), absNeg(ax)
+			} else {
+				cr, ar = canonBits(^cx, it), absNot(ax)
+			}
+			ar = ar.clamp(it)
+			if !encloses(ar, cr, it) {
+				t.Fatalf("unary op %d over %+v: abstract %v does not enclose concrete %#x (input %#x abstracted as %v)",
+					op, it, ar, cr, cx, ax)
+			}
+		case opConvert:
+			to := fuzzShapes[aux%uint64(len(fuzzShapes))]
+			cr := canonBits(cx, to)
+			ar := absConvert(ax, it, to)
+			if !encloses(ar, cr, to) {
+				t.Fatalf("convert %+v -> %+v: abstract %v does not enclose concrete %#x (input %#x abstracted as %v)",
+					it, to, ar, cr, cx, ax)
+			}
+		case opJoin:
+			j := ax.Join(ay)
+			if !encloses(j, cx, it) || !encloses(j, cy, it) {
+				t.Fatalf("join %v ⊔ %v = %v loses %#x or %#x (shape %+v)", ax, ay, j, cx, cy, it)
+			}
+		case opMeet:
+			// Meet soundness: a value inside both operands stays inside
+			// the intersection. Build the second operand around the SAME
+			// concrete value so the premise holds.
+			ay2 := abstractOf(cx, it, yShape, aux>>42)
+			m := ax.Meet(ay2)
+			if !encloses(m, cx, it) {
+				t.Fatalf("meet %v ⊓ %v = %v loses %#x (shape %+v)", ax, ay2, m, cx, it)
+			}
+		default:
+			cr, ok := concreteBinary(op, cx, cy, it)
+			if !ok {
+				return // the concrete operation panics (÷0, negative shift)
+			}
+			ar := applyFuzzBinary(op, ax, ay).clamp(it)
+			if !encloses(ar, cr, it) {
+				t.Fatalf("op %d over %+v: abstract %v does not enclose concrete %#x (inputs %#x, %#x abstracted as %v, %v)",
+					op, it, ar, cr, cx, cy, ax, ay)
+			}
+		}
+	})
+}
+
+// Operation selectors for the fuzz input; binary Go operators first so
+// applyFuzzBinary can map them to token values.
+const (
+	opAdd uint64 = iota
+	opSub
+	opMul
+	opQuo
+	opRem
+	opShl
+	opShr
+	opAnd
+	opOr
+	opXor
+	opAndNot
+	opNeg
+	opNot
+	opConvert
+	opMin
+	opMax
+	opJoin
+	opMeet
+)
+
+var fuzzShapes = []intType{
+	{8, true}, {8, false},
+	{16, true}, {16, false},
+	{32, true}, {32, false},
+	{64, true}, {64, false},
+}
+
+// canonBits reduces a 64-bit pattern to the canonical representation of
+// a value of shape it: low bits truncated to the width, then sign- or
+// zero-extended back to 64 bits. All concrete arithmetic below works on
+// canonical patterns, mirroring how the hardware (and Go) would.
+func canonBits(v uint64, it intType) uint64 {
+	if it.bits == 64 {
+		return v
+	}
+	mask := uint64(1)<<uint(it.bits) - 1
+	v &= mask
+	if it.signed && v&(uint64(1)<<uint(it.bits-1)) != 0 {
+		v |= ^mask
+	}
+	return v
+}
+
+// abstractOf widens canonical value v into an AbsVal that encloses it,
+// by one of four recipes. Every recipe must return an enclosing value;
+// the fuzz body asserts it before relying on it.
+func abstractOf(v uint64, it intType, shape, aux uint64) AbsVal {
+	exact := func(u uint64) AbsVal {
+		if !it.signed && it.bits == 64 {
+			return absConstU(u)
+		}
+		return absConst(int64(u))
+	}
+	switch shape % 4 {
+	case 0:
+		return exact(v)
+	case 1:
+		return rangeOf(it)
+	case 2:
+		// Join with a second point of the same shape: exercises the
+		// known-bits agreement logic.
+		return exact(v).Join(exact(canonBits(aux, it)))
+	default:
+		// A surrounding interval. 64-bit unsigned values past MaxInt64
+		// have no interval representation; they live in the Wide half.
+		if !it.signed && v > math.MaxInt64 {
+			return absWide()
+		}
+		m := int64(v)
+		return absRange(satSub(m, int64(aux%4096)), satAdd(m, int64((aux>>12)%4096)))
+	}
+}
+
+// encloses reports whether abstract value a contains the concrete value
+// with canonical representation v at shape it — the soundness relation
+// the whole domain is fuzzed against.
+func encloses(a AbsVal, v uint64, it intType) bool {
+	if a.Bot {
+		return false // a concrete value reached this point
+	}
+	if a.Mask != 0 && v&a.Mask != a.Bits&a.Mask {
+		return false // a claimed known bit disagrees with reality
+	}
+	if it.signed {
+		m := int64(v)
+		if a.Wide {
+			return m >= 0 // Wide asserts a nonnegative 64-bit quantity
+		}
+		return a.Lo <= m && m <= a.Hi
+	}
+	if a.Wide {
+		return true // Wide is top for unsigned 64-bit
+	}
+	if v > math.MaxInt64 {
+		return false // beyond every non-Wide interval
+	}
+	return a.Lo <= int64(v) && int64(v) <= a.Hi
+}
+
+// concreteBinary evaluates the Go operation at shape it on canonical
+// patterns, returning the canonical result. ok is false when the
+// concrete program would panic (division by zero, negative shift
+// count) — those executions prove nothing about the domain.
+func concreteBinary(op uint64, x, y uint64, it intType) (uint64, bool) {
+	switch op {
+	case opAdd:
+		return canonBits(x+y, it), true
+	case opSub:
+		return canonBits(x-y, it), true
+	case opMul:
+		return canonBits(x*y, it), true
+	case opQuo:
+		if y == 0 {
+			return 0, false
+		}
+		if it.signed {
+			return canonBits(uint64(int64(x)/int64(y)), it), true
+		}
+		return canonBits(x/y, it), true
+	case opRem:
+		if y == 0 {
+			return 0, false
+		}
+		if it.signed {
+			return canonBits(uint64(int64(x)%int64(y)), it), true
+		}
+		return canonBits(x%y, it), true
+	case opShl, opShr:
+		if it.signed && int64(y) < 0 {
+			return 0, false
+		}
+		s := y
+		if s > 64 {
+			s = 64 // Go defines over-width variable shifts; cap to avoid nothing — semantics identical from 64 up
+		}
+		if op == opShl {
+			return canonBits(x<<s, it), true
+		}
+		if it.signed {
+			return canonBits(uint64(int64(x)>>s), it), true
+		}
+		return canonBits(x>>s, it), true
+	case opAnd:
+		return canonBits(x&y, it), true
+	case opOr:
+		return canonBits(x|y, it), true
+	case opXor:
+		return canonBits(x^y, it), true
+	case opAndNot:
+		return canonBits(x&^y, it), true
+	case opMin:
+		if it.signed {
+			if int64(x) < int64(y) {
+				return x, true
+			}
+			return y, true
+		}
+		if x < y {
+			return x, true
+		}
+		return y, true
+	case opMax:
+		if it.signed {
+			if int64(x) > int64(y) {
+				return x, true
+			}
+			return y, true
+		}
+		if x > y {
+			return x, true
+		}
+		return y, true
+	}
+	return 0, false
+}
+
+// applyFuzzBinary routes a fuzz op selector through the same
+// applyBinary dispatch the evaluator uses (min/max go straight to their
+// transfer functions; the evaluator reaches them via builtin calls).
+func applyFuzzBinary(op uint64, x, y AbsVal) AbsVal {
+	switch op {
+	case opMin:
+		return absMin(x, y)
+	case opMax:
+		return absMax(x, y)
+	}
+	return applyBinary(fuzzTokens[op], x, y)
+}
+
+var fuzzTokens = map[uint64]token.Token{
+	opAdd:    token.ADD,
+	opSub:    token.SUB,
+	opMul:    token.MUL,
+	opQuo:    token.QUO,
+	opRem:    token.REM,
+	opShl:    token.SHL,
+	opShr:    token.SHR,
+	opAnd:    token.AND,
+	opOr:     token.OR,
+	opXor:    token.XOR,
+	opAndNot: token.AND_NOT,
+}

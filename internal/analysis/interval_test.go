@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAbsValBasics(t *testing.T) {
+	if v, ok := absConst(7).IsConst(); !ok || v != 7 {
+		t.Fatalf("absConst(7).IsConst() = %d, %v", v, ok)
+	}
+	if !absConst(7).In(0, 10) || absConst(7).In(0, 6) {
+		t.Fatal("In() wrong on constants")
+	}
+	if absWide().In(0, math.MaxInt64) {
+		t.Fatal("Wide must never prove an interval")
+	}
+	if !absBottom().In(5, 5) {
+		t.Fatal("bottom proves everything")
+	}
+	if absRange(3, 1).Bot != true {
+		t.Fatal("inverted range is bottom")
+	}
+	if got := absRange(0, 31).String(); got != "[0, 31]" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := absAny().String(); got != "[-inf, +inf]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestAbsJoinMeet(t *testing.T) {
+	a, b := absRange(0, 5), absRange(10, 20)
+	j := a.Join(b)
+	if !j.In(0, 20) || j.In(0, 19) {
+		t.Fatalf("join = %v", j)
+	}
+	if got := absBottom().Join(a); got != a.normalize() {
+		t.Fatalf("bottom is not join identity: %v", got)
+	}
+	m := absRange(0, 15).Meet(absRange(10, 40))
+	if !m.In(10, 15) || m.In(11, 15) || m.In(10, 14) {
+		t.Fatalf("meet = %v", m)
+	}
+	if !absRange(0, 5).Meet(absRange(10, 20)).Bot {
+		t.Fatal("disjoint meet must be bottom")
+	}
+	// Wide meets a finite interval: the finite side wins.
+	if got := absWide().Meet(absRange(0, 9)); !got.In(0, 9) {
+		t.Fatalf("wide∧[0,9] = %v", got)
+	}
+	// Join of constants keeps agreeing bits: 4|x and 6|x share bit 2.
+	j2 := absConst(4).Join(absConst(6))
+	if j2.Mask&(1<<2) == 0 || j2.Bits&(1<<2) == 0 {
+		t.Fatalf("join(4,6) lost known bit 2: mask=%x bits=%x", j2.Mask, j2.Bits)
+	}
+	if j2.Mask&(1<<1) != 0 {
+		t.Fatalf("join(4,6) must not know bit 1: mask=%x", j2.Mask)
+	}
+}
+
+func TestAbsArith(t *testing.T) {
+	add := absAdd(absRange(1, 3), absRange(10, 20))
+	if !add.In(11, 23) || add.In(12, 23) {
+		t.Fatalf("add = %v", add)
+	}
+	sub := absSub(absRange(10, 20), absRange(1, 3))
+	if !sub.In(7, 19) {
+		t.Fatalf("sub = %v", sub)
+	}
+	mul := absMul(absRange(-2, 3), absRange(4, 5))
+	if !mul.In(-10, 15) {
+		t.Fatalf("mul = %v", mul)
+	}
+	// Overflow: MaxInt64 + 1 wraps concretely (to MinInt64), so the
+	// abstraction must degrade to top — a saturated [MaxInt64, MaxInt64]
+	// would exclude the wrapped value (FuzzIntervalSoundness caught
+	// exactly this shape). The exact boundary is different: MaxInt64-1 + 1
+	// is a legal value and stays precise.
+	sat := absAdd(absConst(math.MaxInt64), absConst(1))
+	if sat.Lo != math.MinInt64 || sat.Hi != math.MaxInt64 {
+		t.Fatalf("overflowing add should be top, got %v", sat)
+	}
+	edge := absAdd(absConst(math.MaxInt64-1), absConst(1))
+	if v, ok := edge.IsConst(); !ok || v != math.MaxInt64 {
+		t.Fatalf("exact boundary add should stay [MaxInt64, MaxInt64], got %v", edge)
+	}
+	div := absDiv(absRange(10, 20), absRange(2, 5))
+	if !div.In(2, 10) {
+		t.Fatalf("div = %v", div)
+	}
+	// Divisor interval containing zero: only the nonzero part counts.
+	div0 := absDiv(absRange(8, 8), absRange(0, 2))
+	if !div0.In(4, 8) {
+		t.Fatalf("div with zero-straddling divisor = %v", div0)
+	}
+	if !absDiv(absConst(1), absConst(0)).Bot {
+		t.Fatal("division by constant zero is bottom (always panics)")
+	}
+	mod := absMod(absRange(0, 100), absConst(8))
+	if !mod.In(0, 7) {
+		t.Fatalf("mod = %v", mod)
+	}
+	modneg := absMod(absRange(-5, 100), absConst(8))
+	if !modneg.In(-5, 7) {
+		t.Fatalf("mod with negative dividend = %v", modneg)
+	}
+	neg := absNeg(absRange(3, 9))
+	if !neg.In(-9, -3) {
+		t.Fatalf("neg = %v", neg)
+	}
+	not := absNot(absRange(0, 7))
+	if !not.In(-8, -1) {
+		t.Fatalf("not = %v", not)
+	}
+}
+
+func TestAbsShifts(t *testing.T) {
+	shl := absShl(absRange(1, 3), absConst(4))
+	if !shl.In(16, 48) {
+		t.Fatalf("shl = %v", shl)
+	}
+	// Exact shift keeps known low zero bits.
+	if shl.Mask&0xf != 0xf || shl.Bits&0xf != 0 {
+		t.Fatalf("shl should know low 4 bits are zero: mask=%x bits=%x", shl.Mask, shl.Bits)
+	}
+	shr := absShr(absRange(16, 48), absConst(4))
+	if !shr.In(1, 3) {
+		t.Fatalf("shr = %v", shr)
+	}
+	// Variable shift amount: interval over both corners.
+	shv := absShl(absConst(1), absRange(0, 5))
+	if !shv.In(1, 32) {
+		t.Fatalf("1 << [0,5] = %v", shv)
+	}
+	// A wide value shifted right by >= 1 comes back into interval range.
+	w := absShr(absWide(), absConst(32))
+	if w.Wide || !w.In(0, int64(^uint64(0)>>32)) {
+		t.Fatalf("wide >> 32 = %v", w)
+	}
+	// Saturating overflow on left shift.
+	big := absShl(absConst(1), absConst(63))
+	if big.Hi != math.MaxInt64 {
+		t.Fatalf("1<<63 should saturate: %v", big)
+	}
+}
+
+func TestAbsBitwise(t *testing.T) {
+	and := absAnd(absAny(), absConst(0xff))
+	if !and.In(0, 255) {
+		t.Fatalf("x & 0xff = %v", and)
+	}
+	if and.Mask&^uint64(0xff) != ^uint64(0xff) {
+		t.Fatalf("x & 0xff should know the high bits are zero: mask=%x", and.Mask)
+	}
+	and2 := absAnd(absWide(), absConst(31))
+	if !and2.In(0, 31) {
+		t.Fatalf("wide & 31 = %v", and2)
+	}
+	or := absOr(absRange(0, 7), absRange(0, 3))
+	if !or.In(0, 7) {
+		t.Fatalf("[0,7] | [0,3] = %v", or)
+	}
+	or2 := absOr(absConst(8), absConst(4))
+	if v, ok := or2.IsConst(); !ok || v != 12 {
+		t.Fatalf("8|4 = %v", or2)
+	}
+	xor := absXor(absRange(0, 7), absRange(0, 7))
+	if !xor.In(0, 7) {
+		t.Fatalf("[0,7] ^ [0,7] = %v", xor)
+	}
+	andnot := absAndNot(absRange(0, 255), absConst(0x0f))
+	if !andnot.In(0, 255) {
+		t.Fatalf("andnot = %v", andnot)
+	}
+	if andnot.Mask&0xf != 0xf || andnot.Bits&0xf != 0 {
+		t.Fatalf("x &^ 0x0f should know low 4 bits zero: mask=%x bits=%x", andnot.Mask, andnot.Bits)
+	}
+}
+
+func TestAbsMinMax(t *testing.T) {
+	mn := absMin(absRange(0, 10), absConst(5))
+	if !mn.In(0, 5) {
+		t.Fatalf("min = %v", mn)
+	}
+	mx := absMax(absRange(0, 10), absConst(5))
+	if !mx.In(5, 10) {
+		t.Fatalf("max = %v", mx)
+	}
+	// min(wide, 32) is bounded by 32.
+	mw := absMin(absWide(), absConst(32))
+	if !mw.In(0, 32) {
+		t.Fatalf("min(wide, 32) = %v", mw)
+	}
+}
+
+func TestAbsConvert(t *testing.T) {
+	u8 := intType{8, false}
+	i8 := intType{8, true}
+	u32 := intType{32, false}
+	i64 := intType{64, true}
+	u64 := intType{64, false}
+
+	// Fitting conversions are value-preserving.
+	if got := absConvert(absRange(0, 200), i64, u8); !got.In(0, 200) {
+		t.Fatalf("[0,200] -> uint8 = %v", got)
+	}
+	// Truncation wraps: uint8 can be anything in [0, 255].
+	if got := absConvert(absRange(0, 300), i64, u8); !got.In(0, 255) || got.In(0, 254) {
+		t.Fatalf("[0,300] -> uint8 = %v", got)
+	}
+	// Negative into unsigned wraps high.
+	if got := absConvert(absRange(-1, 5), i64, u8); !got.In(0, 255) {
+		t.Fatalf("[-1,5] -> uint8 = %v", got)
+	}
+	// Known bits survive truncation: a multiple of 16 stays one.
+	mul16 := absShl(absRange(0, 100), absConst(4))
+	tr := absConvert(mul16, i64, u8)
+	if tr.Mask&0xf != 0xf || tr.Bits&0xf != 0 {
+		t.Fatalf("truncation should keep low known bits: %+v", tr)
+	}
+	// Signed narrow with known-clear sign bit.
+	if got := absConvert(absConst(0x7f), i64, i8); !got.In(127, 127) {
+		t.Fatalf("0x7f -> int8 = %v", got)
+	}
+	if got := absConvert(absConst(0x80), i64, i8); got.In(-127, 127) {
+		t.Fatalf("0x80 -> int8 should cover -128: %v", got)
+	}
+	// Wide into uint32 truncates; into int64 is top.
+	if got := absConvert(absWide(), u64, u32); !got.In(0, math.MaxUint32) {
+		t.Fatalf("wide -> uint32 = %v", got)
+	}
+	if got := absConvert(absWide(), u64, i64); got.In(0, math.MaxInt64) {
+		t.Fatalf("wide -> int64 must include negatives: %v", got)
+	}
+	// int64 -> uint64 with possible negatives is Wide top.
+	if got := absConvert(absRange(-3, 3), i64, u64); !got.Wide {
+		t.Fatalf("[-3,3] -> uint64 should be wide: %v", got)
+	}
+	// fits() for wide into u64.
+	if !absWide().fits(u64) || absWide().fits(i64) {
+		t.Fatal("fits() wrong for wide values")
+	}
+}
+
+func TestAbsClamp(t *testing.T) {
+	u8 := intType{8, false}
+	// In-range computation passes through.
+	if got := absRange(0, 200).clamp(u8); !got.In(0, 200) {
+		t.Fatalf("clamp in-range = %v", got)
+	}
+	// Possible overflow degrades to the type's range.
+	if got := absRange(0, 300).clamp(u8); !got.In(0, 255) || got.In(0, 254) {
+		t.Fatalf("clamp overflow = %v", got)
+	}
+	if got := rangeOf(intType{64, false}); !got.Wide {
+		t.Fatalf("rangeOf(uint64) = %v", got)
+	}
+	if got := rangeOf(intType{16, true}); !got.In(-32768, 32767) || got.In(-32767, 32767) {
+		t.Fatalf("rangeOf(int16) = %v", got)
+	}
+}

@@ -32,6 +32,9 @@ type Program struct {
 	// cg caches the call graph so the whole-program analyzers share one
 	// build per tree.
 	cg *CallGraph
+	// vr caches the value-range analysis shared by the
+	// truncating-conversion, provable-bounds, and width-contract rules.
+	vr *valueRange
 }
 
 // CallGraph returns the program's call graph, building it on first use.

@@ -1,0 +1,1483 @@
+package analysis
+
+// Interprocedural value-range analysis and the three rules built on it:
+//
+//	truncating-conversion (MV010) — a narrowing integer conversion in
+//	    Eval/Commit-reachable code must be proven lossless.
+//	provable-bounds (MV011) — every slice/array index in
+//	    Eval/Commit-reachable code must be proven >= 0 and < len.
+//	width-contract (MV012) — width arguments at internal/word call
+//	    sites proven within [1, 32], and every shift amount proven
+//	    below the shifted operand's bit width.
+//
+// The analysis runs the AbsVal transfer functions (interval.go) over the
+// bodies of every function reachable from the clock.Component Eval/Commit
+// roots on the PR-6 call graph, flow-sensitively: assignments update an
+// abstract environment, branch conditions refine it on each arm, and
+// loops run to a small local fixpoint with widening. Alongside plain
+// values the environment carries symbolic length facts — len(s) bounds
+// per canonical path, "n == len(s)" and "i < len(s)" relations — which
+// is what proves the `for i := 0; i < len(s); i++ { s[i] }` and
+// `for i := range s` idioms.
+//
+// Across functions, parameter facts are joined over the argument values
+// observed at static and CHA-resolved call sites inside the analyzed
+// region, and result facts over return statements, to a bounded global
+// fixpoint. Checks are recorded only in a final pass over the converged
+// facts.
+//
+// Documented concessions (see docs/ANALYZERS.md): parameter facts cover
+// only Eval/Commit-reachable call sites — the rules certify hot-path
+// executions, not arbitrary callers; field-path value facts are dropped
+// at every call, but length facts survive calls (lengths of long-lived
+// buffers are set up at construction; the compiler-verified -bce gate is
+// the cross-check); functions using goto or labeled branches degrade to
+// flow-insensitive evaluation. On any concession the analysis loses
+// precision, never soundness of what it does claim.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math"
+	"strings"
+)
+
+// TruncatingConversion returns the truncating-conversion analyzer: METRO's
+// packed word format (masks, shifts, per-width checksums) makes silent
+// integer truncation a real hazard, so every narrowing conversion on the
+// per-cycle path must be proven lossless by the value-range analysis or
+// carry a //metrovet:truncate <reason> valve.
+func TruncatingConversion() *Analyzer {
+	return &Analyzer{
+		Name: "truncating-conversion",
+		Doc:  "narrowing integer conversions reachable from Eval/Commit must be proven lossless by value-range analysis; annotate //metrovet:truncate <reason> when intended",
+		Run: func(p *Package) []Finding {
+			return valueRangeFindings(NewProgram([]*Package{p}), "truncating-conversion")
+		},
+		RunProgram: func(prog *Program) []Finding {
+			return valueRangeFindings(prog, "truncating-conversion")
+		},
+	}
+}
+
+// ProvableBounds returns the provable-bounds analyzer: the contract the
+// flattened struct-of-arrays kernel's adjacency indexing is held to.
+// Every slice or array index reachable from Eval/Commit must be proven
+// in bounds from propagated facts, so the compiler can eliminate the
+// bounds check and a corrupted index can never panic mid-cycle.
+func ProvableBounds() *Analyzer {
+	return &Analyzer{
+		Name: "provable-bounds",
+		Doc:  "slice/array indexes reachable from Eval/Commit must be proven in bounds by value-range analysis; annotate //metrovet:bounds <reason> when externally guaranteed",
+		Run: func(p *Package) []Finding {
+			return valueRangeFindings(NewProgram([]*Package{p}), "provable-bounds")
+		},
+		RunProgram: func(prog *Program) []Finding {
+			return valueRangeFindings(prog, "provable-bounds")
+		},
+	}
+}
+
+// WidthContract returns the width-contract analyzer: channel widths in
+// METRO are 1..32 bits, and internal/word's Mask/checksum helpers
+// silently saturate or zero outside that range. Width arguments at word
+// call sites must be proven within [1, 32], and shift amounts must be
+// proven below the shifted operand's bit width (an over-wide shift
+// zeroes the value without any runtime signal).
+func WidthContract() *Analyzer {
+	return &Analyzer{
+		Name: "width-contract",
+		Doc:  "word.Mask/checksum width arguments proven within [1,32] and shift amounts proven below the operand width on Eval/Commit paths; annotate //metrovet:width <reason> when validated elsewhere",
+		Run: func(p *Package) []Finding {
+			return valueRangeFindings(NewProgram([]*Package{p}), "width-contract")
+		},
+		RunProgram: func(prog *Program) []Finding {
+			return valueRangeFindings(prog, "width-contract")
+		},
+	}
+}
+
+// wordWidthArgs maps internal/word functions to the position of their
+// width parameter (the [1, 32] contract of MV012).
+var wordWidthArgs = map[string]int{
+	"Mask":           0,
+	"MakeData":       1,
+	"ChecksumWords":  0,
+	"SplitChecksum":  1,
+	"AppendChecksum": 2,
+	"JoinChecksum":   1,
+}
+
+// isWordPackage reports whether an import path is the packed-word
+// package carrying the width contract (suffix match so in-memory
+// fixtures can model it).
+func isWordPackage(path string) bool {
+	return path == "metro/internal/word" || strings.HasSuffix(path, "/internal/word")
+}
+
+// valueRange is the shared result of one analysis run over a Program,
+// cached on the Program so the three rules compute it once.
+type valueRange struct {
+	findings map[string][]Finding
+}
+
+// valueRangeFindings returns one rule's findings, computing and caching
+// the shared analysis on first use.
+func valueRangeFindings(prog *Program, rule string) []Finding {
+	if prog.vr == nil {
+		prog.vr = computeValueRange(prog)
+	}
+	return append([]Finding(nil), prog.vr.findings[rule]...)
+}
+
+// vrSummary is one function's interprocedural summary.
+type vrSummary struct {
+	// params joins the abstract argument values observed at analyzed
+	// call sites, by parameter index (receivers excluded). Bot until a
+	// call site contributes.
+	params []AbsVal
+	// paramsTop marks functions whose callers cannot all be seen: roots,
+	// reference-taken functions, variadic or arity-mismatched calls.
+	paramsTop bool
+	// results joins the return values seen so far, by result index.
+	results []AbsVal
+}
+
+// computeValueRange runs the whole analysis: reachability, the bounded
+// interprocedural fixpoint, and the final recording pass.
+func computeValueRange(prog *Program) *valueRange {
+	vr := &valueRange{findings: map[string][]Finding{}}
+	roots := componentRoots(prog, nil, "Eval", "Commit")
+	if len(roots) == 0 {
+		return vr
+	}
+	reached := prog.CallGraph().Reachable(roots, nil)
+	nodes := reachedNodes(reached)
+
+	summaries := map[*FuncNode]*vrSummary{}
+	for _, n := range nodes {
+		summaries[n] = &vrSummary{}
+	}
+	for _, r := range roots {
+		if s := summaries[r.Node]; s != nil {
+			s.paramsTop = true
+		}
+	}
+	// A function whose reference is taken can be called with anything
+	// by whoever holds the reference.
+	for _, n := range nodes {
+		for _, e := range prog.CallGraph().Edges[n] {
+			if e.Kind == EdgeRef {
+				if s := summaries[e.Callee]; s != nil {
+					s.paramsTop = true
+				}
+			}
+		}
+	}
+
+	const maxPasses = 6
+	converged := false
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, n := range nodes {
+			ev := &vrEval{prog: prog, summaries: summaries, node: n, sum: summaries[n]}
+			ev.run()
+			if ev.changed {
+				changed = true
+			}
+		}
+		if !changed {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		// The bounded fixpoint did not settle: drop to the sound floor
+		// (unknown params everywhere) and re-evaluate results once so the
+		// recording pass never reads an under-approximation.
+		for _, s := range summaries {
+			s.paramsTop = true
+			s.results = nil
+		}
+		for _, n := range nodes {
+			ev := &vrEval{prog: prog, summaries: summaries, node: n, sum: summaries[n]}
+			ev.run()
+		}
+	}
+
+	// Recording pass over the converged facts.
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		info := reached[n]
+		ev := &vrEval{
+			prog: prog, summaries: summaries, node: n, sum: summaries[n],
+			root: info.Root,
+			record: func(rule, kind string, pos token.Pos, msg string) {
+				p := n.Pkg
+				position := p.Fset.Position(pos)
+				dedup := fmt.Sprintf("%s|%s:%d:%d|%s", rule, position.Filename, position.Line, position.Column, msg)
+				if seen[dedup] {
+					return
+				}
+				seen[dedup] = true
+				if p.suppressed(rule, kind, position) {
+					return
+				}
+				vr.findings[rule] = append(vr.findings[rule], Finding{Pos: position, Rule: rule, Msg: msg})
+			},
+		}
+		ev.run()
+	}
+	for rule := range vr.findings {
+		SortFindings(vr.findings[rule])
+	}
+	return vr
+}
+
+// vrEnv is the flow-sensitive abstract environment: values, length
+// facts, and symbolic relations, all keyed by canonical expression path
+// ("i", "p.injHead", "r.fwd").
+type vrEnv struct {
+	// vals abstracts integer-valued paths; a missing key is top.
+	vals map[string]AbsVal
+	// lens bounds len(path) for slice/string paths; missing is [0, +inf].
+	lens map[string]AbsVal
+	// symLen records paths holding exactly len(target): symLen["n"] = "s"
+	// after n := len(s). A slice-typed key means the key's own length
+	// equals len(target): symLen["out"] = "s" after out := make(T, len(s)).
+	symLen map[string]string
+	// lt records "path < len(target)" relations: lt["i"]["s"] after the
+	// i < len(s) branch or inside for i := range s.
+	lt map[string]map[string]bool
+}
+
+func newEnv() *vrEnv {
+	return &vrEnv{
+		vals:   map[string]AbsVal{},
+		lens:   map[string]AbsVal{},
+		symLen: map[string]string{},
+		lt:     map[string]map[string]bool{},
+	}
+}
+
+func (e *vrEnv) clone() *vrEnv {
+	out := newEnv()
+	for k, v := range e.vals {
+		out.vals[k] = v
+	}
+	for k, v := range e.lens {
+		out.lens[k] = v
+	}
+	for k, v := range e.symLen {
+		out.symLen[k] = v
+	}
+	for k, set := range e.lt {
+		ns := map[string]bool{}
+		for t := range set {
+			ns[t] = true
+		}
+		out.lt[k] = ns
+	}
+	return out
+}
+
+// join merges two environments pointwise; facts present on only one side
+// are dropped (the other side knows nothing). nil environments mean
+// "unreachable" and act as the identity.
+func joinEnv(a, b *vrEnv) *vrEnv {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := newEnv()
+	for k, av := range a.vals {
+		if bv, ok := b.vals[k]; ok {
+			out.vals[k] = av.Join(bv)
+		}
+	}
+	for k, av := range a.lens {
+		if bv, ok := b.lens[k]; ok {
+			out.lens[k] = av.Join(bv)
+		}
+	}
+	for k, at := range a.symLen {
+		if bt, ok := b.symLen[k]; ok && at == bt {
+			out.symLen[k] = at
+		}
+	}
+	for k, aset := range a.lt {
+		bset := b.lt[k]
+		if bset == nil {
+			continue
+		}
+		for t := range aset {
+			if bset[t] {
+				if out.lt[k] == nil {
+					out.lt[k] = map[string]bool{}
+				}
+				out.lt[k][t] = true
+			}
+		}
+	}
+	return out
+}
+
+// equalEnv reports whether two environments carry identical facts (the
+// loop-fixpoint termination test).
+func equalEnv(a, b *vrEnv) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.vals) != len(b.vals) || len(a.lens) != len(b.lens) ||
+		len(a.symLen) != len(b.symLen) || len(a.lt) != len(b.lt) {
+		return false
+	}
+	for k, v := range a.vals {
+		if b.vals[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.lens {
+		if b.lens[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.symLen {
+		if b.symLen[k] != v {
+			return false
+		}
+	}
+	for k, set := range a.lt {
+		bset := b.lt[k]
+		if len(bset) != len(set) {
+			return false
+		}
+		for t := range set {
+			if !bset[t] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// widenEnv widens a toward b: facts that grew lose the unstable bound,
+// so loop fixpoints terminate in a bounded number of iterations.
+func widenEnv(a, b *vrEnv) *vrEnv {
+	j := joinEnv(a, b)
+	if a == nil || j == nil {
+		return j
+	}
+	for k, jv := range j.vals {
+		av, ok := a.vals[k]
+		if !ok {
+			continue
+		}
+		if jv.Wide || av.Wide || jv.Bot {
+			continue
+		}
+		if jv.Lo < av.Lo {
+			jv.Lo = math.MinInt64
+		}
+		if jv.Hi > av.Hi {
+			jv.Hi = math.MaxInt64
+		}
+		j.vals[k] = jv.normalize()
+	}
+	for k, jv := range j.lens {
+		av, ok := a.lens[k]
+		if !ok {
+			continue
+		}
+		if jv.Wide || av.Wide || jv.Bot {
+			continue
+		}
+		if jv.Lo < av.Lo {
+			jv.Lo = 0
+		}
+		if jv.Hi > av.Hi {
+			jv.Hi = math.MaxInt64
+		}
+		j.lens[k] = jv.normalize()
+	}
+	return j
+}
+
+// killPath removes every fact about path and any extension of it
+// (assigning to p kills p.injHead too), including relations that name
+// it as a length target.
+func (e *vrEnv) killPath(path string) {
+	drop := func(k string) bool {
+		return k == path || strings.HasPrefix(k, path+".")
+	}
+	for k := range e.vals {
+		if drop(k) {
+			delete(e.vals, k)
+		}
+	}
+	for k := range e.lens {
+		if drop(k) {
+			delete(e.lens, k)
+		}
+	}
+	for k, t := range e.symLen {
+		if drop(k) || drop(t) {
+			delete(e.symLen, k)
+		}
+	}
+	for k, set := range e.lt {
+		if drop(k) {
+			delete(e.lt, k)
+			continue
+		}
+		for t := range set {
+			if drop(t) {
+				delete(set, t)
+			}
+		}
+		if len(set) == 0 {
+			delete(e.lt, k)
+		}
+	}
+}
+
+// killOrder removes the ordering facts of path (i++ invalidates
+// i < len(s)) without touching its interval or length facts.
+func (e *vrEnv) killOrder(path string) {
+	delete(e.symLen, path)
+	delete(e.lt, path)
+}
+
+// killFields drops value facts on field paths (those containing a dot)
+// and on address-taken locals: a call can mutate anything reachable
+// through a pointer. Length facts survive (documented concession).
+func (e *vrEnv) killFields(addrTaken map[string]bool) {
+	for k := range e.vals {
+		if strings.Contains(k, ".") || addrTaken[k] {
+			delete(e.vals, k)
+		}
+	}
+	for k, t := range e.symLen {
+		if strings.Contains(k, ".") || addrTaken[k] {
+			delete(e.symLen, k)
+			_ = t
+		}
+	}
+	for k := range e.lt {
+		if strings.Contains(k, ".") || addrTaken[k] {
+			delete(e.lt, k)
+		}
+	}
+}
+
+// flowOut is the result of executing a statement: the fall-through
+// environment (nil when control never falls through) plus the
+// environments flowing to the nearest enclosing break and continue.
+type flowOut struct {
+	env  *vrEnv
+	brk  []*vrEnv
+	cont []*vrEnv
+}
+
+func fall(env *vrEnv) flowOut { return flowOut{env: env} }
+
+// vrEval evaluates one function body against the current summaries.
+type vrEval struct {
+	prog      *Program
+	summaries map[*FuncNode]*vrSummary
+	node      *FuncNode
+	sum       *vrSummary
+	// root labels finding messages; empty outside the recording pass.
+	root string
+	// record, when set, receives check outcomes (rule, valve kind, pos,
+	// message). nil during the fixpoint passes.
+	record func(rule, kind string, pos token.Pos, msg string)
+	// mute suppresses recording during loop-fixpoint iterations.
+	mute int
+	// changed reports whether this evaluation grew any summary.
+	changed bool
+	// addrTaken marks local paths whose address escapes in this body.
+	addrTaken map[string]bool
+	// degraded marks goto/labeled-branch bodies: flow-insensitive walk.
+	degraded bool
+	// resultPaths maps named result paths for bare returns.
+	resultNames []string
+}
+
+func (ev *vrEval) pkg() *Package { return ev.node.Pkg }
+
+// run evaluates the node's body once.
+func (ev *vrEval) run() {
+	fd := ev.node.Decl
+	if fd.Body == nil || ev.pkg().Types == nil || ev.pkg().Info == nil {
+		return
+	}
+	ev.addrTaken = map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if path := canonPath(e.X); path != "" {
+					ev.addrTaken[path] = true
+				}
+			}
+		case *ast.BranchStmt:
+			if e.Tok == token.GOTO || e.Label != nil {
+				ev.degraded = true
+			}
+		}
+		return true
+	})
+
+	env := newEnv()
+	if fd.Type.Params != nil {
+		idx := 0
+		for _, field := range fd.Type.Params.List {
+			names := field.Names
+			if len(names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range names {
+				if name.Name != "_" {
+					if it, ok := typeShape(ev.pkg().TypeOf(name)); ok {
+						v := rangeOf(it)
+						if !ev.sum.paramsTop && idx < len(ev.sum.params) {
+							pv := ev.sum.params[idx]
+							if !pv.Bot {
+								v = pv.Meet(v)
+							}
+						}
+						env.vals[name.Name] = v
+					}
+				}
+				idx++
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		ev.resultNames = nil
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				ev.resultNames = append(ev.resultNames, name.Name)
+				if _, ok := typeShape(ev.pkg().TypeOf(name)); ok {
+					env.vals[name.Name] = absConst(0)
+				}
+			}
+		}
+	}
+
+	if ev.degraded {
+		// goto or labeled branches: no reliable flow order. Walk every
+		// expression with an empty environment so constant-provable
+		// checks still record and call sites still feed summaries.
+		top := newEnv()
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if expr, ok := n.(ast.Expr); ok {
+				ev.eval(expr, top)
+				return false
+			}
+			return true
+		})
+		return
+	}
+
+	ev.execBlock(fd.Body, env)
+}
+
+// joinResult feeds one return value into the summary, tracking growth.
+func (ev *vrEval) joinResult(i int, v AbsVal) {
+	for len(ev.sum.results) <= i {
+		ev.sum.results = append(ev.sum.results, absBottom())
+	}
+	next := ev.sum.results[i].Join(v)
+	if next != ev.sum.results[i] {
+		ev.sum.results[i] = next
+		ev.changed = true
+	}
+}
+
+// joinParamFact feeds one observed argument into a callee summary.
+func (ev *vrEval) joinParamFact(callee *FuncNode, i int, v AbsVal) {
+	s := ev.summaries[callee]
+	if s == nil || s.paramsTop {
+		return
+	}
+	for len(s.params) <= i {
+		s.params = append(s.params, absBottom())
+	}
+	next := s.params[i].Join(v)
+	if next != s.params[i] {
+		s.params[i] = next
+		ev.changed = true
+	}
+}
+
+// markParamsTop degrades a callee to unknown parameters.
+func (ev *vrEval) markParamsTop(callee *FuncNode) {
+	s := ev.summaries[callee]
+	if s != nil && !s.paramsTop {
+		s.paramsTop = true
+		ev.changed = true
+	}
+}
+
+// execBlock runs a statement list.
+func (ev *vrEval) execBlock(b *ast.BlockStmt, env *vrEnv) flowOut {
+	out := fall(env)
+	for _, s := range b.List {
+		if out.env == nil {
+			break
+		}
+		r := ev.execStmt(s, out.env)
+		out.env = r.env
+		out.brk = append(out.brk, r.brk...)
+		out.cont = append(out.cont, r.cont...)
+	}
+	return out
+}
+
+// execStmt runs one statement.
+func (ev *vrEval) execStmt(s ast.Stmt, env *vrEnv) flowOut {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return ev.execBlock(st, env)
+	case *ast.ExprStmt:
+		ev.eval(st.X, env)
+		ev.callEffects(st.X, env)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok &&
+			calleeBuiltin(ev.pkg(), call) == "panic" {
+			// panic never falls through, so an if-guarded panic refines
+			// the code after the if with the guard's negation — the
+			// validate-or-die idiom (if w < 1 || w > 32 { panic(...) }).
+			return flowOut{}
+		}
+		return fall(env)
+	case *ast.AssignStmt:
+		return fall(ev.execAssign(st, env))
+	case *ast.IncDecStmt:
+		return fall(ev.execIncDec(st, env))
+	case *ast.DeclStmt:
+		return fall(ev.execDecl(st, env))
+	case *ast.IfStmt:
+		return ev.execIf(st, env)
+	case *ast.ForStmt:
+		return fall(ev.execFor(st, env))
+	case *ast.RangeStmt:
+		return fall(ev.execRange(st, env))
+	case *ast.SwitchStmt:
+		return ev.execSwitch(st, env)
+	case *ast.TypeSwitchStmt:
+		return ev.execTypeSwitch(st, env)
+	case *ast.SelectStmt:
+		return ev.execSelect(st, env)
+	case *ast.ReturnStmt:
+		ev.execReturn(st, env)
+		return flowOut{}
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			return flowOut{brk: []*vrEnv{env}}
+		case token.CONTINUE:
+			return flowOut{cont: []*vrEnv{env}}
+		}
+		// goto / fallthrough outside a switch clause: treated by the
+		// degraded path; never reached here.
+		return flowOut{}
+	case *ast.LabeledStmt:
+		// Labels without labeled branches (degraded mode catches the
+		// rest) are plain statements.
+		return ev.execStmt(st.Stmt, env)
+	case *ast.DeferStmt:
+		ev.eval(st.Call, env)
+		ev.callEffects(st.Call, env)
+		return fall(env)
+	case *ast.GoStmt:
+		ev.eval(st.Call, env)
+		ev.callEffects(st.Call, env)
+		return fall(env)
+	case *ast.SendStmt:
+		ev.eval(st.Chan, env)
+		ev.eval(st.Value, env)
+		return fall(env)
+	case *ast.EmptyStmt:
+		return fall(env)
+	}
+	return fall(env)
+}
+
+// callEffects applies the call-boundary concession after any statement
+// that evaluates a call for effect: field facts and address-taken
+// locals may have changed.
+func (ev *vrEval) callEffects(expr ast.Expr, env *vrEnv) {
+	if containsCall(expr) {
+		env.killFields(ev.addrTaken)
+	}
+}
+
+// containsCall reports whether expr contains any function call (method
+// calls included; conversions and builtins excluded where detectable is
+// not worth the precision — they count as calls too, conservatively).
+func containsCall(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// execAssign handles =, :=, and the compound assignment operators.
+func (ev *vrEval) execAssign(st *ast.AssignStmt, env *vrEnv) *vrEnv {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(st.Lhs) == len(st.Rhs) {
+			// Evaluate all RHS first (Go semantics), then bind.
+			vals := make([]AbsVal, len(st.Rhs))
+			for i, r := range st.Rhs {
+				vals[i] = ev.eval(r, env)
+			}
+			for _, r := range st.Rhs {
+				ev.callEffects(r, env)
+			}
+			for i := range st.Lhs {
+				ev.bind(env, st.Lhs[i], st.Rhs[i], vals[i])
+			}
+			return env
+		}
+		// Tuple assignment from a call, map read, or type assertion.
+		for _, r := range st.Rhs {
+			ev.eval(r, env)
+			ev.callEffects(r, env)
+		}
+		var callee *FuncNode
+		if len(st.Rhs) == 1 {
+			if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+				callee = ev.staticCallee(call)
+			}
+		}
+		for i, l := range st.Lhs {
+			path := canonPath(l)
+			if path == "" {
+				ev.eval(l, env)
+				if _, isIndex := ast.Unparen(l).(*ast.IndexExpr); !isIndex {
+					env.killFields(ev.addrTaken)
+				}
+				continue
+			}
+			env.killPath(path)
+			ev.invalidateDependents(env, path)
+			if callee != nil {
+				if v, ok := ev.calleeResult(callee, i); ok {
+					if it, okt := typeShape(ev.pkg().TypeOf(l)); okt {
+						env.vals[path] = v.Meet(rangeOf(it))
+					}
+				}
+			}
+		}
+		return env
+	default:
+		// Compound op=: lhs = lhs OP rhs.
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return env
+		}
+		l, r := st.Lhs[0], st.Rhs[0]
+		lv := ev.eval(l, env)
+		rv := ev.eval(r, env)
+		ev.callEffects(r, env)
+		op, ok := assignOp(st.Tok)
+		if !ok {
+			return env
+		}
+		if op == token.SHL || op == token.SHR {
+			ev.checkShift(st.TokPos, l, r, rv, env)
+		}
+		v := applyBinary(op, lv, rv)
+		if it, okt := typeShape(ev.pkg().TypeOf(l)); okt {
+			v = v.clamp(it)
+		} else {
+			v = absAny()
+		}
+		if path := canonPath(l); path != "" {
+			env.killOrder(path)
+			ev.invalidateDependents(env, path)
+			env.vals[path] = v
+		}
+		return env
+	}
+}
+
+// bind assigns rhs (already evaluated to val) to the lhs expression,
+// maintaining value, length, and symbolic facts.
+func (ev *vrEval) bind(env *vrEnv, lhs, rhs ast.Expr, val AbsVal) {
+	path := canonPath(lhs)
+	if path == "" {
+		// Assignment through an index, dereference, or other opaque
+		// lvalue. Evaluate the target expression itself — a write to
+		// s[i] is a bounds-check site like a read — then drop the facts
+		// it can alias: element writes touch no canonical path, but a
+		// write through a pointer can change any field.
+		ev.eval(lhs, env)
+		if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); !isIndex {
+			env.killFields(ev.addrTaken)
+		}
+		return
+	}
+	// Derive length and alias facts from the RHS against the
+	// pre-assignment environment — Go evaluates the RHS first, so
+	// s = append(s, x) must read len(s) before the binding clobbers it —
+	// then kill the old facts and apply the new ones.
+	var newLen *AbsVal
+	var newSymLen string
+	var newLt map[string]bool
+	var newArgSym string // int path that now equals len(path)
+	setLen := func(v AbsVal) { v = lenBound(v); newLen = &v }
+
+	r := ast.Unparen(rhs)
+	switch e := r.(type) {
+	case *ast.CallExpr:
+		switch calleeBuiltin(ev.pkg(), e) {
+		case "make":
+			// make([]T, n) / make([]T, n, c): the new length is n. When
+			// n is len(src) (directly or via a symLen variable), also
+			// record the slice-length alias len(path) == len(src), so an
+			// index proven below len(src) proves indexing path too.
+			if len(e.Args) >= 2 {
+				setLen(ev.evalQuiet(e.Args[1], env))
+				if t := ev.lenTarget(e.Args[1], env); t != "" && t != path {
+					newSymLen = t
+				}
+				// The size variable itself now equals len(path):
+				// p := make([]byte, n) establishes n == len(p), so
+				// p[n-1] and i < n-1 loops become provable.
+				if t := canonPath(e.Args[1]); t != "" && t != path && t != "_" {
+					if _, isInt := typeShape(ev.pkg().TypeOf(e.Args[1])); isInt {
+						newArgSym = t
+					}
+				}
+			}
+		case "len":
+			if len(e.Args) == 1 {
+				if target := canonPath(e.Args[0]); target != "" && target != path {
+					newSymLen = target
+				}
+			}
+		case "append":
+			// s = append(s, x...) grows the source length.
+			if len(e.Args) >= 1 {
+				src := canonPath(e.Args[0])
+				base := AbsVal{Lo: 0, Hi: math.MaxInt64}
+				if src != "" {
+					if lv, ok := env.lens[src]; ok {
+						base = lv
+					}
+				}
+				if e.Ellipsis.IsValid() {
+					setLen(AbsVal{Lo: base.Lo, Hi: math.MaxInt64})
+				} else {
+					setLen(absAdd(base, absConst(int64(len(e.Args)-1))))
+				}
+			}
+		}
+	case *ast.SliceExpr:
+		// s2 = s[a:b]: len(s2) = b - a (with the defaults filled in).
+		if e.Slice3 {
+			break
+		}
+		src := canonPath(e.X)
+		var lo AbsVal = absConst(0)
+		if e.Low != nil {
+			lo = ev.evalQuiet(e.Low, env)
+		}
+		var hi AbsVal
+		switch {
+		case e.High != nil:
+			hi = ev.evalQuiet(e.High, env)
+		case src != "":
+			if lv, ok := env.lens[src]; ok {
+				hi = lv
+			} else if n, ok := arrayLenOf(ev.pkg().TypeOf(e.X)); ok {
+				hi = absConst(n)
+			} else {
+				hi = AbsVal{Lo: 0, Hi: math.MaxInt64}
+			}
+		default:
+			hi = AbsVal{Lo: 0, Hi: math.MaxInt64}
+		}
+		setLen(absSub(hi, lo))
+	case *ast.CompositeLit:
+		// s = []T{...}: exact length (no spread elements in Go).
+		if _, ok := ev.pkg().TypeOf(e).Underlying().(*types.Slice); ok {
+			setLen(absConst(int64(len(e.Elts))))
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		// Alias: copy length and relation facts from the source path.
+		if src := canonPath(r); src != "" {
+			if lv, ok := env.lens[src]; ok {
+				setLen(lv)
+			}
+			if t, ok := env.symLen[src]; ok && t != path {
+				newSymLen = t
+			}
+			if set, ok := env.lt[src]; ok {
+				ns := map[string]bool{}
+				for t := range set {
+					if t != path {
+						ns[t] = true
+					}
+				}
+				if len(ns) > 0 {
+					newLt = ns
+				}
+			}
+		}
+	}
+
+	env.killPath(path)
+	ev.invalidateDependents(env, path)
+	if path == "_" {
+		return
+	}
+	if it, isInt := typeShape(ev.pkg().TypeOf(lhs)); isInt {
+		env.vals[path] = val.Meet(rangeOf(it))
+	}
+	if newLen != nil {
+		env.lens[path] = *newLen
+	}
+	if newSymLen != "" {
+		env.symLen[path] = newSymLen
+	}
+	if newLt != nil {
+		env.lt[path] = newLt
+	}
+	if newArgSym != "" {
+		env.symLen[newArgSym] = path
+	}
+}
+
+// invalidateDependents drops relations that mention path as their length
+// target: after s changes, i < len(s) no longer holds.
+func (ev *vrEval) invalidateDependents(env *vrEnv, path string) {
+	for k, t := range env.symLen {
+		if t == path || strings.HasPrefix(t, path+".") {
+			delete(env.symLen, k)
+		}
+	}
+	for k, set := range env.lt {
+		for t := range set {
+			if t == path || strings.HasPrefix(t, path+".") {
+				delete(set, t)
+			}
+		}
+		if len(set) == 0 {
+			delete(env.lt, k)
+		}
+	}
+}
+
+// lenBound clamps a computed length into the valid [0, +inf] range.
+func lenBound(v AbsVal) AbsVal {
+	return v.Meet(AbsVal{Lo: 0, Hi: math.MaxInt64})
+}
+
+// execIncDec handles x++ / x--.
+func (ev *vrEval) execIncDec(st *ast.IncDecStmt, env *vrEnv) *vrEnv {
+	v := ev.eval(st.X, env)
+	one := absConst(1)
+	var next AbsVal
+	if st.Tok == token.INC {
+		next = absAdd(v, one)
+	} else {
+		next = absSub(v, one)
+	}
+	if it, ok := typeShape(ev.pkg().TypeOf(st.X)); ok {
+		next = next.clamp(it)
+	}
+	if path := canonPath(st.X); path != "" {
+		env.killOrder(path)
+		ev.invalidateDependents(env, path)
+		env.vals[path] = next
+	}
+	return env
+}
+
+// execDecl handles var declarations (zero values included: var x int
+// really is 0).
+func (ev *vrEval) execDecl(st *ast.DeclStmt, env *vrEnv) *vrEnv {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return env
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) == len(vs.Names) {
+			for i, name := range vs.Names {
+				v := ev.eval(vs.Values[i], env)
+				ev.callEffects(vs.Values[i], env)
+				ev.bind(env, name, vs.Values[i], v)
+			}
+			continue
+		}
+		for _, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			env.killPath(name.Name)
+			if _, ok := typeShape(ev.pkg().TypeOf(name)); ok && len(vs.Values) == 0 {
+				env.vals[name.Name] = absConst(0)
+			}
+		}
+		for _, v := range vs.Values {
+			ev.eval(v, env)
+			ev.callEffects(v, env)
+		}
+	}
+	return env
+}
+
+// execIf runs an if/else with branch refinement.
+func (ev *vrEval) execIf(st *ast.IfStmt, env *vrEnv) flowOut {
+	if st.Init != nil {
+		r := ev.execStmt(st.Init, env)
+		env = r.env
+		if env == nil {
+			return flowOut{}
+		}
+	}
+	ev.eval(st.Cond, env)
+	ev.callEffects(st.Cond, env)
+	thenEnv, elseEnv := ev.refine(st.Cond, env)
+
+	var thenOut flowOut
+	if thenEnv != nil {
+		thenOut = ev.execBlock(st.Body, thenEnv)
+	}
+	var elseOut flowOut
+	if st.Else != nil {
+		if elseEnv != nil {
+			elseOut = ev.execStmt(st.Else, elseEnv)
+		}
+	} else {
+		elseOut = fall(elseEnv)
+	}
+	return flowOut{
+		env:  joinEnv(thenOut.env, elseOut.env),
+		brk:  append(thenOut.brk, elseOut.brk...),
+		cont: append(thenOut.cont, elseOut.cont...),
+	}
+}
+
+// maxLoopIter bounds the loop fixpoint; widening kicks in only on the
+// final iterations so small stable bounds (a shift accumulator capped
+// by a break) get a chance to converge exactly before unstable bounds
+// blow to infinity.
+const maxLoopIter = 6
+
+// execFor runs a for loop to a local fixpoint, then (in recording mode)
+// one recorded pass over the converged head.
+func (ev *vrEval) execFor(st *ast.ForStmt, env *vrEnv) *vrEnv {
+	if st.Init != nil {
+		r := ev.execStmt(st.Init, env)
+		env = r.env
+		if env == nil {
+			return nil
+		}
+	}
+	body := func(head *vrEnv) (after *vrEnv, exit *vrEnv) {
+		var condT, condF *vrEnv
+		if st.Cond != nil {
+			ev.eval(st.Cond, head)
+			ev.callEffects(st.Cond, head)
+			condT, condF = ev.refine(st.Cond, head)
+		} else {
+			condT, condF = head, nil
+		}
+		var out flowOut
+		if condT != nil {
+			out = ev.execBlock(st.Body, condT)
+		}
+		exit = condF
+		for _, b := range out.brk {
+			exit = joinEnv(exit, b)
+		}
+		after = out.env
+		for _, c := range out.cont {
+			after = joinEnv(after, c)
+		}
+		if after != nil && st.Post != nil {
+			r := ev.execStmt(st.Post, after)
+			after = r.env
+		}
+		return after, exit
+	}
+	return ev.loopFixpoint(env, body)
+}
+
+// execRange runs a range loop. Only slice/array/string/int ranges
+// establish facts about the key variable; map and channel ranges run
+// the body with no extra facts.
+func (ev *vrEval) execRange(st *ast.RangeStmt, env *vrEnv) *vrEnv {
+	ev.eval(st.X, env)
+	ev.callEffects(st.X, env)
+	xt := ev.pkg().TypeOf(st.X)
+	srcPath := canonPath(st.X)
+
+	// The key bound: [0, len-1] where the length is whatever is known.
+	var keyBound AbsVal
+	var ltTarget string
+	switch {
+	case xt != nil && isSliceOrString(xt):
+		hi := int64(math.MaxInt64)
+		if srcPath != "" {
+			if lv, ok := env.lens[srcPath]; ok && !lv.Wide && lv.Hi < math.MaxInt64 {
+				hi = lv.Hi - 1
+			}
+			ltTarget = srcPath
+		}
+		keyBound = AbsVal{Lo: 0, Hi: max64(hi, 0)}
+	default:
+		if n, ok := arrayLenOf(xt); ok {
+			keyBound = AbsVal{Lo: 0, Hi: max64(n-1, 0)}
+		} else if it, ok := typeShape(xt); ok {
+			// range over an integer n: keys are [0, n-1].
+			_ = it
+			n := ev.eval(st.X, env)
+			if !n.Wide && n.Hi > math.MinInt64 {
+				keyBound = AbsVal{Lo: 0, Hi: max64(n.Hi-1, 0)}
+			} else {
+				keyBound = AbsVal{Lo: 0, Hi: math.MaxInt64}
+			}
+		} else {
+			keyBound = AbsVal{Lo: 0, Hi: math.MaxInt64}
+		}
+	}
+
+	keyPath := ""
+	if st.Key != nil && st.Tok != token.ILLEGAL {
+		keyPath = canonPath(st.Key)
+	}
+	valPath := ""
+	if st.Value != nil {
+		valPath = canonPath(st.Value)
+	}
+
+	body := func(head *vrEnv) (after *vrEnv, exit *vrEnv) {
+		iter := head.clone()
+		if keyPath != "" && keyPath != "_" {
+			iter.killPath(keyPath)
+			if _, ok := typeShape(ev.pkg().TypeOf(st.Key)); ok {
+				iter.vals[keyPath] = keyBound
+			}
+			if ltTarget != "" {
+				iter.lt[keyPath] = map[string]bool{ltTarget: true}
+			}
+		}
+		if valPath != "" && valPath != "_" {
+			iter.killPath(valPath)
+			if it, ok := typeShape(ev.pkg().TypeOf(st.Value)); ok {
+				iter.vals[valPath] = rangeOf(it)
+			}
+		}
+		out := ev.execBlock(st.Body, iter)
+		exit = head // the loop may execute zero times
+		for _, b := range out.brk {
+			exit = joinEnv(exit, b)
+		}
+		after = out.env
+		for _, c := range out.cont {
+			after = joinEnv(after, c)
+		}
+		return after, exit
+	}
+	return ev.loopFixpoint(env, body)
+}
+
+// loopFixpoint iterates body from the entry environment until the head
+// stabilizes (widening near the bound), then runs one final recorded
+// iteration on the converged head. body returns the environment after
+// one iteration (nil if the body never falls through) and the loop-exit
+// environment contribution of this iteration.
+func (ev *vrEval) loopFixpoint(entry *vrEnv, body func(*vrEnv) (after, exit *vrEnv)) *vrEnv {
+	head := entry
+	ev.mute++
+	for i := 0; i < maxLoopIter; i++ {
+		after, _ := body(head.clone())
+		var next *vrEnv
+		if i >= maxLoopIter-2 {
+			next = widenEnv(head, after)
+		} else {
+			next = joinEnv(head.clone(), after)
+		}
+		if next == nil {
+			next = head
+		}
+		if equalEnv(head, next) {
+			break
+		}
+		head = next
+	}
+	ev.mute--
+	_, exit := body(head.clone())
+	return exit
+}
+
+// execSwitch runs a value switch with equality refinement per clause
+// (skipped entirely when any clause falls through).
+func (ev *vrEval) execSwitch(st *ast.SwitchStmt, env *vrEnv) flowOut {
+	if st.Init != nil {
+		r := ev.execStmt(st.Init, env)
+		env = r.env
+		if env == nil {
+			return flowOut{}
+		}
+	}
+	var tagPath string
+	if st.Tag != nil {
+		ev.eval(st.Tag, env)
+		ev.callEffects(st.Tag, env)
+		tagPath = canonPath(st.Tag)
+	}
+	hasFallthrough := false
+	ast.Inspect(st.Body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.FALLTHROUGH {
+			hasFallthrough = true
+		}
+		return true
+	})
+	var outs []*vrEnv
+	var conts []*vrEnv
+	hasDefault := false
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauseEnv := env.clone()
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			ev.eval(e, clauseEnv)
+		}
+		if !hasFallthrough && tagPath != "" && len(cc.List) == 1 {
+			// switch x { case k: ... } refines x == k in the clause.
+			if v := ev.eval(cc.List[0], clauseEnv); !v.Bot {
+				if cur, ok := clauseEnv.vals[tagPath]; ok {
+					clauseEnv.vals[tagPath] = cur.Meet(v)
+				} else if it, okt := typeShape(ev.pkg().TypeOf(st.Tag)); okt {
+					clauseEnv.vals[tagPath] = v.Meet(rangeOf(it))
+				}
+			}
+		}
+		out := ev.execClause(cc.Body, clauseEnv)
+		outs = append(outs, out.env)
+		for _, b := range out.brk {
+			outs = append(outs, b)
+		}
+		conts = append(conts, out.cont...)
+	}
+	var merged *vrEnv
+	for _, o := range outs {
+		merged = joinEnv(merged, o)
+	}
+	if !hasDefault {
+		merged = joinEnv(merged, env)
+	}
+	return flowOut{env: merged, cont: conts}
+}
+
+// execClause runs a case clause body (break applies to the switch).
+func (ev *vrEval) execClause(stmts []ast.Stmt, env *vrEnv) flowOut {
+	out := fall(env)
+	for _, s := range stmts {
+		if out.env == nil {
+			break
+		}
+		if b, ok := s.(*ast.BranchStmt); ok && b.Tok == token.FALLTHROUGH {
+			continue
+		}
+		r := ev.execStmt(s, out.env)
+		out.env = r.env
+		out.brk = append(out.brk, r.brk...)
+		out.cont = append(out.cont, r.cont...)
+	}
+	return out
+}
+
+// execTypeSwitch runs each clause on a copy of the entry environment.
+func (ev *vrEval) execTypeSwitch(st *ast.TypeSwitchStmt, env *vrEnv) flowOut {
+	if st.Init != nil {
+		r := ev.execStmt(st.Init, env)
+		env = r.env
+		if env == nil {
+			return flowOut{}
+		}
+	}
+	ev.execStmt(st.Assign, env.clone())
+	var merged *vrEnv
+	var conts []*vrEnv
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		out := ev.execClause(cc.Body, env.clone())
+		merged = joinEnv(merged, out.env)
+		for _, b := range out.brk {
+			merged = joinEnv(merged, b)
+		}
+		conts = append(conts, out.cont...)
+	}
+	merged = joinEnv(merged, env)
+	return flowOut{env: merged, cont: conts}
+}
+
+// execSelect runs each comm clause on a copy of the entry environment.
+func (ev *vrEval) execSelect(st *ast.SelectStmt, env *vrEnv) flowOut {
+	var merged *vrEnv
+	var conts []*vrEnv
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		clauseEnv := env.clone()
+		if cc.Comm != nil {
+			r := ev.execStmt(cc.Comm, clauseEnv)
+			clauseEnv = r.env
+		}
+		if clauseEnv == nil {
+			continue
+		}
+		out := ev.execClause(cc.Body, clauseEnv)
+		merged = joinEnv(merged, out.env)
+		for _, b := range out.brk {
+			merged = joinEnv(merged, b)
+		}
+		conts = append(conts, out.cont...)
+	}
+	return flowOut{env: merged, cont: conts}
+}
+
+// execReturn evaluates return values into the result summary.
+func (ev *vrEval) execReturn(st *ast.ReturnStmt, env *vrEnv) {
+	if len(st.Results) == 0 {
+		// Bare return: named results carry their current values.
+		for i, name := range ev.resultNames {
+			if v, ok := env.vals[name]; ok {
+				ev.joinResult(i, v)
+			} else if it, okt := typeShapeByIndex(ev.node, i); okt {
+				ev.joinResult(i, rangeOf(it))
+			}
+		}
+		return
+	}
+	if len(st.Results) == 1 && ev.resultCount() > 1 {
+		// return f() forwarding a tuple.
+		ev.eval(st.Results[0], env)
+		ev.callEffects(st.Results[0], env)
+		if call, ok := ast.Unparen(st.Results[0]).(*ast.CallExpr); ok {
+			if callee := ev.staticCallee(call); callee != nil {
+				for i := 0; i < ev.resultCount(); i++ {
+					if v, ok := ev.calleeResult(callee, i); ok {
+						ev.joinResult(i, v)
+						continue
+					}
+					if it, okt := typeShapeByIndex(ev.node, i); okt {
+						ev.joinResult(i, rangeOf(it))
+					}
+				}
+				return
+			}
+		}
+		for i := 0; i < ev.resultCount(); i++ {
+			if it, okt := typeShapeByIndex(ev.node, i); okt {
+				ev.joinResult(i, rangeOf(it))
+			}
+		}
+		return
+	}
+	for i, r := range st.Results {
+		v := ev.eval(r, env)
+		ev.callEffects(r, env)
+		if it, ok := typeShapeByIndex(ev.node, i); ok {
+			ev.joinResult(i, v.Meet(rangeOf(it)))
+		}
+	}
+}
+
+// resultCount returns the declared result arity.
+func (ev *vrEval) resultCount() int {
+	res := ev.node.Decl.Type.Results
+	if res == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range res.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// typeShapeByIndex resolves the shape of result i of a declaration.
+func typeShapeByIndex(node *FuncNode, i int) (intType, bool) {
+	res := node.Decl.Type.Results
+	if res == nil {
+		return intType{}, false
+	}
+	idx := 0
+	for _, f := range res.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		if i < idx+n {
+			return typeShape(node.Pkg.TypeOf(f.Type))
+		}
+		idx += n
+	}
+	return intType{}, false
+}
+
+// calleeResult reads result i of a callee's summary; Bot (never
+// evaluated or never returns) reads as unknown.
+func (ev *vrEval) calleeResult(callee *FuncNode, i int) (AbsVal, bool) {
+	s := ev.summaries[callee]
+	if s == nil || i >= len(s.results) || s.results[i].Bot {
+		return AbsVal{}, false
+	}
+	return s.results[i], true
+}
+
+// staticCallee resolves a call to its in-program declaration when the
+// call is a plain static (non-interface) dispatch.
+func (ev *vrEval) staticCallee(call *ast.CallExpr) *FuncNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := ev.pkg().ObjectOf(fun).(*types.Func); ok {
+			return ev.prog.nodeFor(fn)
+		}
+	case *ast.SelectorExpr:
+		if recv := ev.pkg().TypeOf(fun.X); recv != nil && types.IsInterface(recv) {
+			return nil
+		}
+		if fn, ok := ev.pkg().ObjectOf(fun.Sel).(*types.Func); ok {
+			return ev.prog.nodeFor(fn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,433 @@
+package analysis
+
+import "testing"
+
+// --- MV010 truncating-conversion ---------------------------------------
+
+func TestTruncatingConversionFlagsUnprovenNarrowing(t *testing.T) {
+	got := runRule(t, TruncatingConversion(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct {
+	tag uint8
+	seq uint16
+}
+
+func (c *comp) Eval(cycle uint64) {
+	c.tag = uint8(cycle)        // line 9: cycle can exceed 255
+	c.seq = uint16(cycle >> 48) // line 10: top 16 bits still span 0..65535, fits
+}
+
+func (c *comp) Commit(cycle uint64) {
+	n := int(cycle)  // line 14: uint64 -> int64 can go negative? no — flags
+	_ = n
+}
+`,
+	})
+	wantFindings(t, got, "truncating-conversion",
+		[2]any{"a.go", 9},
+		[2]any{"a.go", 14},
+	)
+}
+
+func TestTruncatingConversionProvenByMaskAndGuard(t *testing.T) {
+	got := runRule(t, TruncatingConversion(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct {
+	tag uint8
+	cnt uint16
+}
+
+func (c *comp) Eval(cycle uint64) {
+	c.tag = uint8(cycle & 0xff)  // masked: proven [0, 255]
+	v := cycle % 1000
+	c.cnt = uint16(v)            // mod: proven [0, 999]
+	if cycle < 200 {
+		c.tag = uint8(cycle) // guarded: proven [0, 199]
+	}
+}
+
+func (c *comp) Commit(cycle uint64) {}
+`,
+	})
+	wantFindings(t, got, "truncating-conversion")
+}
+
+func TestTruncatingConversionWideningIsSilent(t *testing.T) {
+	got := runRule(t, TruncatingConversion(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct{ acc uint64 }
+
+func (c *comp) Eval(cycle uint64) {
+	var b uint8 = 7
+	c.acc += uint64(b)   // widening, never lossy
+	w := uint32(b)       // widening
+	_ = int64(w)         // uint32 -> int64 always fits
+}
+
+func (c *comp) Commit(cycle uint64) {}
+`,
+	})
+	wantFindings(t, got, "truncating-conversion")
+}
+
+func TestTruncatingConversionValve(t *testing.T) {
+	got := runRule(t, TruncatingConversion(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct{ tag uint8 }
+
+func (c *comp) Eval(cycle uint64) {
+	c.tag = uint8(cycle) //metrovet:truncate low byte is the epoch tag by design
+}
+
+// hash folds a cycle number; the doc valve covers the whole helper.
+//
+//metrovet:truncate checksum folding truncates by definition
+func (c *comp) hash(cycle uint64) uint8 { return uint8(cycle * 31) }
+
+func (c *comp) Commit(cycle uint64) { c.tag = c.hash(cycle) }
+`,
+	})
+	wantFindings(t, got, "truncating-conversion")
+}
+
+func TestTruncatingConversionInterprocedural(t *testing.T) {
+	// The helper's parameter fact is joined over hot-path call sites:
+	// both calls pass provably small values, so the conversion inside
+	// the helper is proven.
+	got := runRule(t, TruncatingConversion(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct{ tag uint8 }
+
+func (c *comp) Eval(cycle uint64) {
+	c.tag = fold(cycle & 0x3f)
+}
+
+func (c *comp) Commit(cycle uint64) {
+	c.tag = fold(200)
+}
+
+func fold(v uint64) uint8 { return uint8(v) }
+`,
+	})
+	wantFindings(t, got, "truncating-conversion")
+}
+
+// --- MV011 provable-bounds ---------------------------------------------
+
+func TestProvableBoundsFlagsUnguardedIndex(t *testing.T) {
+	got := runRule(t, ProvableBounds(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct {
+	buf  []int
+	head int
+}
+
+func (c *comp) Eval(cycle uint64) {
+	_ = c.buf[c.head] // line 9: head unconstrained
+}
+
+func (c *comp) Commit(cycle uint64) {}
+`,
+	})
+	wantFindings(t, got, "provable-bounds", [2]any{"a.go", 9})
+}
+
+func TestProvableBoundsLoopIdioms(t *testing.T) {
+	got := runRule(t, ProvableBounds(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct {
+	buf  []int
+	regs [8]int
+}
+
+func (c *comp) Eval(cycle uint64) {
+	for i := 0; i < len(c.buf); i++ {
+		c.buf[i]++ // classic counted loop: proven
+	}
+	for i := range c.buf {
+		_ = c.buf[i] // range loop: proven
+	}
+	for i := range c.regs {
+		c.regs[i] = 0 // array range: proven by the array length
+	}
+	_ = c.regs[5] // constant index into [8]int: proven
+}
+
+func (c *comp) Commit(cycle uint64) {
+	n := len(c.buf)
+	for i := 0; i < n; i++ {
+		c.buf[i] = 0 // symbolic n == len(c.buf): proven
+	}
+}
+`,
+	})
+	wantFindings(t, got, "provable-bounds")
+}
+
+func TestProvableBoundsGuardAndModulo(t *testing.T) {
+	got := runRule(t, ProvableBounds(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct {
+	ring []int
+	head int
+}
+
+func (c *comp) Eval(cycle uint64) {
+	if c.head >= 0 && c.head < len(c.ring) {
+		_ = c.ring[c.head] // guarded: proven
+	}
+	if len(c.ring) > 0 {
+		_ = c.ring[int(cycle%uint64(len(c.ring)))] // ring-buffer modulo: proven
+	}
+}
+
+func (c *comp) Commit(cycle uint64) {
+	if len(c.ring) > 0 {
+		// line 21: int(cycle) goes negative past MaxInt64 and Go's %
+		// takes the dividend's sign — a real hazard, not provable.
+		_ = c.ring[int(cycle)%len(c.ring)]
+	}
+}
+`,
+	})
+	wantFindings(t, got, "provable-bounds", [2]any{"a.go", 21})
+}
+
+func TestProvableBoundsCatchesOffByOne(t *testing.T) {
+	got := runRule(t, ProvableBounds(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct {
+	buf  []int
+	regs [8]int
+}
+
+func (c *comp) Eval(cycle uint64) {
+	for i := 0; i <= len(c.buf); i++ {
+		c.buf[i] = 0 // line 10: i == len(c.buf) is out of bounds
+	}
+	j := 8
+	_ = c.regs[j] // line 13: one past the end of [8]int
+}
+
+func (c *comp) Commit(cycle uint64) {
+	if c.regs[0] > 0 { // constant 0 into [8]int: proven, no finding
+		return
+	}
+}
+`,
+	})
+	wantFindings(t, got, "provable-bounds", [2]any{"a.go", 10}, [2]any{"a.go", 13})
+}
+
+func TestProvableBoundsValve(t *testing.T) {
+	got := runRule(t, ProvableBounds(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct {
+	fwd  []int
+	port int
+}
+
+func (c *comp) Eval(cycle uint64) {
+	_ = c.fwd[c.port] //metrovet:bounds port validated against the radix at wiring time
+}
+
+// drain is covered whole by the doc valve.
+//
+//metrovet:bounds indices come from the wiring table, validated by CheckInvariants
+func (c *comp) drain() int { return c.fwd[c.port+1] }
+
+func (c *comp) Commit(cycle uint64) { _ = c.drain() }
+`,
+	})
+	wantFindings(t, got, "provable-bounds")
+}
+
+func TestProvableBoundsAppendAndMakeTrackLength(t *testing.T) {
+	got := runRule(t, ProvableBounds(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct{ buf []int }
+
+func (c *comp) Eval(cycle uint64) {
+	s := make([]int, 4)
+	s[3] = 1 // proven: len(s) == 4
+	s = append(s, 9)
+	s[4] = 2 // proven: append grew it to 5
+}
+
+func (c *comp) Commit(cycle uint64) {
+	s := []int{1, 2, 3}
+	_ = s[2] // proven: literal length 3
+	_ = s[3] // line 15: out of bounds
+}
+`,
+	})
+	wantFindings(t, got, "provable-bounds", [2]any{"a.go", 15})
+}
+
+// --- MV012 width-contract ----------------------------------------------
+
+func TestWidthContractShiftAmounts(t *testing.T) {
+	got := runRule(t, WidthContract(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct {
+	acc uint32
+	w   int
+}
+
+func (c *comp) Eval(cycle uint64) {
+	c.acc <<= uint(c.w)          // line 9: w unconstrained, uint(w) may be >= 32
+	c.acc = c.acc >> 1           // constant: proven
+	if c.w >= 0 && c.w < 32 {
+		c.acc >>= uint(c.w)      // guarded: proven
+	}
+	var v uint64 = cycle << 40   // 40 < 64: proven for a uint64 operand
+	_ = v
+}
+
+func (c *comp) Commit(cycle uint64) {}
+`,
+	})
+	wantFindings(t, got, "width-contract", [2]any{"a.go", 9})
+}
+
+func TestWidthContractWordCallSites(t *testing.T) {
+	prog := loadFixtureProgram(t,
+		fixturePkg{path: "metro/internal/word", files: map[string]string{
+			"word.go": `package word
+
+// Mask returns a bit mask covering a width-bit payload.
+func Mask(width int) uint32 {
+	if width >= 32 {
+		return ^uint32(0)
+	}
+	if width < 0 {
+		return 0
+	}
+	return (1 << uint(width)) - 1
+}
+
+// ChecksumWords returns the word count for a width-bit channel.
+func ChecksumWords(width int) int {
+	if width <= 0 {
+		return 0
+	}
+	n := 8 / width
+	if 8%width != 0 {
+		n++
+	}
+	return n
+}
+`,
+		}},
+		fixturePkg{path: "metro/internal/core", files: map[string]string{
+			"a.go": `package core
+
+import "metro/internal/word"
+
+type comp struct {
+	w    int
+	mask uint32
+}
+
+func (c *comp) Eval(cycle uint64) {
+	c.mask = word.Mask(c.w) // line 11: width unconstrained
+	c.mask = word.Mask(16)  // constant in [1, 32]: proven
+	if c.w >= 1 && c.w <= 32 {
+		c.mask = word.Mask(c.w) // guarded: proven
+	}
+}
+
+func (c *comp) Commit(cycle uint64) {
+	_ = word.ChecksumWords(0) // line 19: 0 outside [1, 32]
+}
+`,
+		}},
+	)
+	got := valueRangeFindings(prog, "width-contract")
+	wantFindings(t, got, "width-contract",
+		[2]any{"metro/internal/core/a.go", 11},
+		[2]any{"metro/internal/core/a.go", 19},
+	)
+}
+
+func TestWidthContractValve(t *testing.T) {
+	got := runRule(t, WidthContract(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct {
+	acc uint32
+	w   int
+}
+
+func (c *comp) Eval(cycle uint64) {
+	c.acc <<= uint(c.w) //metrovet:width w is validated to 1..32 by the constructor
+}
+
+func (c *comp) Commit(cycle uint64) {}
+`,
+	})
+	wantFindings(t, got, "width-contract")
+}
+
+// --- shared machinery ---------------------------------------------------
+
+func TestValueRangeLoopConvergence(t *testing.T) {
+	// The JoinChecksum shape: shift starts at 0, grows by a bounded
+	// width, and the loop breaks before it reaches 8 — the fixpoint must
+	// prove shift stays within [0, 7].
+	got := runRule(t, WidthContract(), "metro/internal/core", map[string]string{
+		"a.go": `package core
+
+type comp struct{ acc uint32 }
+
+func (c *comp) Eval(cycle uint64) {
+	shift := 0
+	for i := 0; i < 64; i++ {
+		c.acc |= 1 << uint(shift) // proven: shift in [0, 7]
+		shift += 3
+		if shift >= 8 {
+			break
+		}
+	}
+}
+
+func (c *comp) Commit(cycle uint64) {}
+`,
+	})
+	wantFindings(t, got, "width-contract")
+}
+
+func TestValueRangeOnlyHotPathIsChecked(t *testing.T) {
+	// The same hazards outside the Eval/Commit-reachable region are out
+	// of scope for all three rules.
+	files := map[string]string{
+		"a.go": `package core
+
+type comp struct{ buf []int }
+
+func (c *comp) Eval(cycle uint64)   {}
+func (c *comp) Commit(cycle uint64) {}
+
+func coldTool(c *comp, i int, v uint64) uint8 {
+	_ = c.buf[i]
+	return uint8(v)
+}
+`,
+	}
+	for _, a := range []*Analyzer{TruncatingConversion(), ProvableBounds(), WidthContract()} {
+		got := runRule(t, a, "metro/internal/core", files)
+		wantFindings(t, got, a.Name)
+	}
+}

@@ -67,6 +67,8 @@ func (g *Group) AddTo(e *clock.Engine, aff clock.ShardAffinity) { e.AddSharded(a
 func (g *Group) Width() int { return len(g.members) }
 
 // Member returns the k-th member router.
+//
+//metrovet:bounds caller contract: k < Width(), the group's construction-time cascade factor
 func (g *Group) Member(k int) *core.Router { return g.members[k] }
 
 // Kills returns how many connections the consistency check has shut down.
@@ -76,6 +78,7 @@ func (g *Group) Kills() int { return g.kills }
 // consistency check.
 //
 //metrovet:shared members are the group's own state: only the Group is engine-registered, and AddTo pins it to one shard
+//metrovet:bounds NewGroup panics on c < 1, so members[0] always exists
 func (g *Group) Eval(cycle uint64) {
 	for _, r := range g.members {
 		r.Eval(cycle)
@@ -94,6 +97,7 @@ func (g *Group) Commit(cycle uint64) {
 // connection the members disagree about, on every member.
 //
 //metrovet:shared the wired-AND check reads all co-located members within the cycle; that is why a Group must never be split across shards
+//metrovet:bounds NewGroup panics on c < 1 and sizes victims to cfg.Inputs, the kill loop's bound
 func (g *Group) check(cycle uint64) {
 	base := g.members[0].BackwardInUse()
 	agree := true
@@ -156,6 +160,9 @@ func (g *Group) check(cycle uint64) {
 // of width w: the allocation-free form of SplitWord for per-cycle paths.
 // Control words are replicated; data-bearing payloads are bit-sliced with
 // member 0 carrying the least significant w bits.
+//
+//metrovet:width k < the cascade factor and w is the member width, so k*w < c*w <= 32, the logical channel bound
+//metrovet:truncate k and w are nonnegative (lane index and member width)
 func MemberWord(logical word.Word, k, w int) word.Word {
 	switch logical.Kind {
 	case word.Data, word.ChecksumWord:
@@ -185,6 +192,9 @@ func SplitWord(logical word.Word, c, w int) []word.Word {
 // MergeWords reassembles a logical word from the member words. The kinds
 // must agree (members in lockstep); on disagreement the Empty word is
 // returned, which upper layers treat as a protocol error.
+//
+//metrovet:width k < the cascade factor and w is the member width, so k*w < c*w <= 32, the logical channel bound
+//metrovet:truncate k and w are nonnegative (lane index and member width)
 func MergeWords(members []word.Word, w int) word.Word {
 	if len(members) == 0 {
 		return word.Word{}

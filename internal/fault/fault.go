@@ -97,6 +97,8 @@ func NewInjector(n *netsim.Network, plan Plan) *Injector {
 }
 
 // Eval fires any events scheduled at or before the current cycle.
+//
+//metrovet:bounds the loop rechecks next < len(plan) every iteration; apply and record never touch next or plan
 func (i *Injector) Eval(cycle uint64) {
 	for i.next < len(i.plan) && i.plan[i.next].At <= cycle {
 		e := i.plan[i.next]
@@ -113,6 +115,7 @@ func (i *Injector) Eval(cycle uint64) {
 // injection-link faults), A is the fault kind code and B the port.
 //
 //metrovet:shared injector runs in the serialized epilogue; the network-scope telemetry buffer is its sanctioned sink
+//metrovet:truncate Kind is a tiny enum and Port a port index, both far below 2^31
 func (i *Injector) record(cycle uint64, e Event) {
 	buf := i.net.FaultSink()
 	if buf == nil {
@@ -142,7 +145,10 @@ func (i *Injector) apply(e Event) {
 	case LinkKill:
 		i.linkOf(e).Kill()
 	case LinkStuckBit:
-		bit := uint32(1) << e.Bit
+		// Payloads are at most 32 bits; masking the position keeps an
+		// out-of-range Bit (e.g. from a hand-edited repro string) from
+		// silently zeroing the fault instead of sticking a bit.
+		bit := uint32(1) << (e.Bit & 31)
 		i.linkOf(e).SetCorruptor(func(w word.Word) word.Word {
 			w.Payload |= bit
 			return w

@@ -47,8 +47,14 @@ type pipe struct {
 
 func newPipe(delay int) pipe { return pipe{regs: make([]slot, delay)} }
 
+// out reads the register at the far end of the pipeline.
+//
+//metrovet:bounds New panics on delay < 1, so regs is never empty
 func (p *pipe) out() slot { return p.regs[len(p.regs)-1] }
 
+// shift advances the pipeline by one cycle.
+//
+//metrovet:bounds New panics on delay < 1, so regs is never empty
 func (p *pipe) shift() {
 	copy(p.regs[1:], p.regs[:len(p.regs)-1])
 	p.regs[0] = p.staged

@@ -487,6 +487,7 @@ func (n *Network) Close() { n.Engine.StopWorkers() }
 //
 //metrovet:mutator traffic injection entry point; called between cycles or from drivers in the serialized epilogue
 //metrovet:shared traffic drivers run in the serialized epilogue, so injection cannot race shard Evals
+//metrovet:bounds caller contract: src is an endpoint id below Spec.Endpoints, the size of Endpoints
 func (n *Network) Send(src, dest int, payload []byte) uint64 {
 	n.nextID++
 	id := n.nextID
@@ -526,13 +527,19 @@ func (n *Network) TakeResults() []nic.Result {
 }
 
 // RouterAt returns the router at (stage, index).
+//
+//metrovet:bounds caller contract: (stage, index) addresses a router of the built topology
 func (n *Network) RouterAt(stage, index int) *core.Router { return n.Routers[stage][index] }
 
 // InjectLink returns endpoint e's k-th injection link.
+//
+//metrovet:bounds caller contract: e is an endpoint id and k one of its injection links
 func (n *Network) InjectLink(e, k int) *link.Link { return n.injLinks[e][k] }
 
 // OutLink returns the link attached to backward port bp of router (stage,
 // index).
+//
+//metrovet:bounds caller contract: (stage, index, bp) addresses a built output port
 func (n *Network) OutLink(stage, index, bp int) *link.Link { return n.outLinks[stage][index][bp] }
 
 // EachLink visits every link in the network.
@@ -556,6 +563,7 @@ func (n *Network) EachLink(f func(*link.Link)) {
 //
 //metrovet:shared fault application runs in the serialized epilogue; reconfiguring the victim routers is its purpose
 //metrovet:alloc per-fault-event scratch bounded by the cascade width; faults are rare control events, not per-cycle work
+//metrovet:bounds caller contract: (stage, index) addresses a router of the built topology; Routers, Cascades and outLanes share its shape
 func (n *Network) KillRouter(stage, index int) {
 	routers := []*core.Router{n.Routers[stage][index]}
 	if g := n.Cascades[stage][index]; g != nil {

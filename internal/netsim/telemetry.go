@@ -53,6 +53,8 @@ type gaugeSampler struct {
 // Eval samples every gauge when the cycle lands on the sampling period.
 //
 //metrovet:shared read-only sampler in the serialized epilogue: every sharded Eval has completed at the barrier, and nothing is mutated
+//metrovet:bounds j ranges over Routers[s] itself
+//metrovet:truncate gauge counts are bounded by port, router and endpoint counts, far below 2^31
 func (g *gaugeSampler) Eval(cycle uint64) {
 	if cycle%g.period != 0 {
 		return

@@ -103,6 +103,12 @@ type pending struct {
 // New constructs an endpoint. Links are attached afterward.
 func New(cfg Config) (*Endpoint, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Width < 1 || cfg.Width > 32 {
+		return nil, fmt.Errorf("nic: width %d outside [1,32]", cfg.Width)
+	}
+	if lw := cfg.logicalWidth(); lw > 32 {
+		return nil, fmt.Errorf("nic: cascaded width %d x %d lanes exceeds 32 bits", cfg.Width, cfg.Lanes)
+	}
 	if err := cfg.Header.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,6 +182,8 @@ func (e *Endpoint) Receiving() bool {
 }
 
 // Eval implements clock.Component.
+//
+//metrovet:bounds qHead stays within [0, len(queue)]: the pop loop rechecks qHead < len(queue) every iteration and idleSender touches only nextSend
 func (e *Endpoint) Eval(cycle uint64) {
 	for _, r := range e.receivers {
 		r.eval(cycle)
@@ -216,6 +224,9 @@ func (e *Endpoint) Eval(cycle uint64) {
 // Commit implements clock.Component.
 func (e *Endpoint) Commit(cycle uint64) {}
 
+// idleSender returns the next idle sender in rotation, or nil.
+//
+//metrovet:bounds n >= 1 inside the loop and nextSend is only ever stored reduced mod n, so (nextSend+i)%n lands in [0, n-1]
 func (e *Endpoint) idleSender() *sender {
 	n := len(e.senders)
 	for i := 0; i < n; i++ {
@@ -231,6 +242,8 @@ func (e *Endpoint) idleSender() *sender {
 // retry requeues a message at the head of the queue. A retried message was
 // popped earlier, so the freed slot before qHead is normally available and
 // the requeue is allocation-free.
+//
+//metrovet:bounds qHead <= len(queue) is the pop-cursor invariant, so qHead-1 indexes the freed slot
 func (e *Endpoint) retry(p *pending) {
 	if e.qHead > 0 {
 		e.qHead--
@@ -309,6 +322,7 @@ type sender struct {
 // lanes by the channel.
 //
 //metrovet:alloc per-attempt stream construction, not a per-cycle path
+//metrovet:width logicalWidth = Width*Lanes is validated into [1,32] by New
 func (s *sender) begin(cycle uint64, p *pending) {
 	cfg := s.e.cfg
 	lw := cfg.logicalWidth()
@@ -347,6 +361,8 @@ func (s *sender) begin(cycle uint64, p *pending) {
 // routing component receives.
 //
 //metrovet:alloc per-attempt lane projection, not a per-cycle path
+//metrovet:width lane < Lanes and width = cfg.Width, so lane*width < Width*Lanes <= 32 (validated by New)
+//metrovet:truncate lane and width are nonnegative (lane is a loop index, width a validated channel width)
 func laneSlice(stream []word.Word, lane, lanes, width int) []word.Word {
 	if lanes == 1 {
 		return stream
@@ -373,6 +389,9 @@ func (s *sender) abort(disposition func(cycle uint64)) {
 	s.state = sDropping
 }
 
+// eval advances the sender's per-cycle state machine.
+//
+//metrovet:bounds idx < len(words) is the streaming invariant: idx resets to 0 per attempt and sSending exits the moment idx reaches len(words)
 func (s *sender) eval(cycle uint64) {
 	switch s.state {
 	case sIdle:
@@ -458,6 +477,8 @@ func (s *sender) abortNow(cycle uint64) {
 
 // complete finishes a successful parse: verify checksums, close the
 // connection, and report.
+//
+//metrovet:bounds the localization condition checks lane < len(expected) and stage < len(expected[lane]) before either index
 func (s *sender) complete(cycle uint64) {
 	p := s.p
 	s.p = nil
@@ -571,6 +592,10 @@ func (r *receiver) reset() {
 	r.intact = false
 }
 
+// eval advances the receiver's per-cycle state machine.
+//
+//metrovet:width Width and logicalWidth are validated into [1,32] by New
+//metrovet:bounds replyIdx < len(reply) is the rReply invariant: replyIdx resets with the buffer and the state leaves rReply when it reaches len(reply)
 func (r *receiver) eval(cycle uint64) {
 	w := r.link.Recv()
 	// End-to-end checksum groups are sized to the logical width; the
@@ -633,6 +658,9 @@ func (r *receiver) eval(cycle uint64) {
 	}
 }
 
+// assemble accumulates the forward stream of one message.
+//
+//metrovet:width logicalWidth is validated into [1,32] by New
 func (r *receiver) assemble(w word.Word, cw int, cycle uint64) {
 	switch w.Kind {
 	case word.Data:
@@ -661,6 +689,7 @@ func (r *receiver) assemble(w word.Word, cw int, cycle uint64) {
 // and a TURN handing the channel back).
 //
 //metrovet:alloc per-message reply construction, not a per-cycle path
+//metrovet:width logicalWidth is validated into [1,32] by New
 func (r *receiver) turn(cycle uint64) {
 	var ck word.Checksum
 	for _, w := range r.payload {

@@ -68,6 +68,9 @@ func (h HeaderSpec) Validate() error {
 // followed by hw-1 HEADER-PAD words, all of which that stage consumes.
 //
 //metrovet:alloc per-attempt header construction, not a per-cycle path
+//metrovet:bounds len(digits) == len(Stages) is enforced by the panic guard, and s ranges over Stages
+//metrovet:truncate digits are per-stage direction numbers in [0, radix), far below 32 bits
+//metrovet:width bits accumulates DirBits groups and is flushed before exceeding Width <= 32 (Validate)
 func (h HeaderSpec) Build(digits []int) []word.Word {
 	if len(digits) != len(h.Stages) {
 		panic(fmt.Sprintf("nic: %d digits for %d stages", len(digits), len(h.Stages)))
@@ -105,6 +108,9 @@ func (h HeaderSpec) Build(digits []int) []word.Word {
 // per-stage checksums for fault localization.
 //
 //metrovet:alloc per-attempt checksum precomputation, not a per-cycle path
+//metrovet:bounds s is the caller's index over Stages (ExpectedStageChecksums ranges over them)
+//metrovet:truncate DirBits >= 0 by Validate
+//metrovet:width DirBits <= Width <= 32 by Validate, and the shift only executes when w.Bits > DirBits, which forces DirBits < 32
 func (h HeaderSpec) StripStage(stream []word.Word, s int) []word.Word {
 	st := h.Stages[s]
 	out := make([]word.Word, 0, len(stream))
@@ -164,6 +170,8 @@ func (h HeaderSpec) ExpectedStageChecksums(sent []word.Word) []uint8 {
 // per word.
 //
 //metrovet:alloc per-message payload packing, not a per-cycle path
+//metrovet:truncate uint32(acc) deliberately extracts the low word; it feeds a Mask(width) bit slice
+//metrovet:width accBits stays in [0, width+7] with width <= 32 (panic guard): each 8-bit refill drains down below width
 func PackBytes(payload []byte, width int) []word.Word {
 	if width < 1 || width > 32 {
 		panic(fmt.Sprintf("nic: width %d outside [1,32]", width))
@@ -194,6 +202,8 @@ func PackBytes(payload []byte, width int) []word.Word {
 // needing byte-exact framing carry a length field in the payload.
 //
 //metrovet:alloc per-message payload unpacking, not a per-cycle path
+//metrovet:truncate byte(acc) deliberately extracts the low byte of the accumulator
+//metrovet:width every caller passes a [1,32] width (nic.New validates channel widths), so accBits stays in [0, 39]
 func UnpackBytes(words []word.Word, width int) []byte {
 	var out []byte
 	var acc uint64

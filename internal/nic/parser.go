@@ -61,6 +61,8 @@ func newParser(width, logical, lanes, stages int) parser {
 
 // feed consumes one received word. Empty and DataIdle are transparent
 // everywhere (idle fill is inserted freely by routers).
+//
+//metrovet:width parser widths come from newParser(cfg.Width, logicalWidth, ...), both validated into [1,32] by nic.New
 func (p *parser) feed(w word.Word) {
 	if p.done || p.closed || p.failed {
 		return
@@ -152,6 +154,9 @@ func (p *parser) feed(w word.Word) {
 	}
 }
 
+// startCk arms collection of the next checksum-word group.
+//
+//metrovet:width parser widths come from newParser(cfg.Width, logicalWidth, ...), both validated into [1,32] by nic.New
 func (p *parser) startCk(next pPhase) {
 	p.phase = next
 	p.ckbuf = p.ckbuf[:0]
@@ -169,6 +174,9 @@ func (p *parser) startCk(next pPhase) {
 // positions [m*width, (m+1)*width).
 //
 //metrovet:alloc per-stage checksum reconstruction, once per status group
+//metrovet:width lane < lanes and width = cfg.Width, so lane*width < Width*Lanes <= 32 (validated by nic.New)
+//metrovet:truncate lane and width are nonnegative (loop index and validated channel width)
+//metrovet:bounds out has len lanes and lane is its loop index
 func joinLaneChecksums(merged []word.Word, width, lanes int) []uint8 {
 	out := make([]uint8, lanes)
 	for lane := 0; lane < lanes; lane++ {

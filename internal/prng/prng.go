@@ -108,6 +108,8 @@ func (s *Shared) Fork() Source {
 }
 
 // bitAt returns stream bit idx, generating and buffering as needed.
+//
+//metrovet:bounds the fill loop exits only once base+len(buf) > idx, and cursors never rewind below base, so idx-base indexes inside buf
 func (s *Shared) bitAt(idx uint64) uint32 {
 	for s.base+uint64(len(s.buf)) <= idx {
 		//metrovet:alloc amortized growth of the shared bit buffer; trim recycles the backing array

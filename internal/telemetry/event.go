@@ -197,17 +197,23 @@ type Source struct {
 }
 
 // RouterSource locates a router by its structured identity.
+//
+//metrovet:truncate stage and lane counts are single digits and router indices stay far below 2^31 for any buildable topology
 func RouterSource(stage, index, lane int) Source {
 	return Source{Kind: SrcRouter, Stage: int16(stage), Index: int32(index), Lane: uint8(lane)}
 }
 
 // EndpointSource locates an endpoint.
+//
+//metrovet:truncate endpoint counts stay far below 2^31 for any buildable topology
 func EndpointSource(ep int) Source {
 	return Source{Kind: SrcEndpoint, Stage: -1, Index: int32(ep)}
 }
 
 // NetworkSource locates a network-scope emitter; stage is -1 for
 // whole-network gauges.
+//
+//metrovet:truncate stage counts are single digits (-1 means whole-network)
 func NetworkSource(stage int) Source {
 	return Source{Kind: SrcNetwork, Stage: int16(stage), Index: -1}
 }

@@ -76,6 +76,8 @@ func (r *Recorder) NewBuf() *Buf {
 
 // Flush drains every registered Buf, in registration order, into the
 // ring. A Flusher component calls it once per cycle at the barrier.
+//
+//metrovet:bounds head wraps to 0 the moment it reaches len(ring), so it always indexes inside the ring
 func (r *Recorder) Flush() {
 	for _, b := range r.bufs {
 		for i := range b.events {

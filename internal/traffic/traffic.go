@@ -65,6 +65,9 @@ func (h Hotspot) Name() string { return "hotspot" }
 type BitReverse struct{}
 
 // Dest implements Pattern.
+//
+//metrovet:width n is the endpoint count, a power of two far below 2^31, so bits stays below 31
+//metrovet:truncate bits-1-i is nonnegative inside the i < bits loop
 func (BitReverse) Dest(src, n int, rng *rand.Rand) int {
 	bits := 0
 	for 1<<uint(bits) < n {
@@ -194,6 +197,7 @@ func (c *ClosedLoop) sampleThink() int {
 // free and their think time has elapsed.
 //
 //metrovet:shared driver registers via Engine.Add, so it runs in the serialized epilogue after every endpoint has evaluated
+//metrovet:truncate rng.Intn(256) yields [0,255], which fits a byte exactly
 func (c *ClosedLoop) Eval(cycle uint64) {
 	n := len(c.state)
 	for e := 0; e < n; e++ {

@@ -43,7 +43,7 @@ func (c *Checksum) AddByte(b uint8) { c.crc = crc8Table[c.crc^b] }
 func (c *Checksum) Add(w Word) {
 	switch w.Kind {
 	case Route, HeaderPad, Data, ChecksumWord:
-		c.AddByte(uint8(w.Payload))
+		c.AddByte(uint8(w.Payload & 0xff))
 	case Empty, DataIdle, Turn, Status, Drop:
 		// Control words are excluded from the segment checksum.
 	}
@@ -71,12 +71,24 @@ func ChecksumWords(width int) int {
 // SplitChecksum splits a CRC-8 value into ChecksumWords(width) channel words,
 // least-significant chunk first.
 func SplitChecksum(sum uint8, width int) []Word {
+	// Clamp the width into the [1, 32] channel contract up front: a
+	// nonpositive width carries no words (as ChecksumWords agrees), and
+	// widths past 32 behave exactly like 32. The clamps don't change
+	// behavior; they make the bounds locally provable.
+	if width < 1 {
+		return make([]Word, 0)
+	}
+	if width > 32 {
+		width = 32
+	}
 	n := ChecksumWords(width)
 	out := make([]Word, n)
 	v := uint32(sum)
 	for i := 0; i < n; i++ {
 		out[i] = Word{Kind: ChecksumWord, Payload: v & Mask(width)}
-		v >>= uint(min(width, 32))
+		// v holds a CRC-8, so shifting by 8 already clears it; capping
+		// the step at 8 keeps the shift below the 32-bit operand width.
+		v >>= uint(min(width, 8))
 	}
 	return out
 }
@@ -87,11 +99,19 @@ func SplitChecksum(sum uint8, width int) []Word {
 //
 //metrovet:alloc appends into caller-owned scratch sized for the stream; steady state reuses capacity
 func AppendChecksum(dst []Word, sum uint8, width int) []Word {
+	// Same width clamps as SplitChecksum: behavior-identical, locally
+	// provable.
+	if width < 1 {
+		return dst
+	}
+	if width > 32 {
+		width = 32
+	}
 	n := ChecksumWords(width)
 	v := uint32(sum)
 	for i := 0; i < n; i++ {
 		dst = append(dst, Word{Kind: ChecksumWord, Payload: v & Mask(width)})
-		v >>= uint(min(width, 32))
+		v >>= uint(min(width, 8))
 	}
 	return dst
 }
@@ -99,6 +119,14 @@ func AppendChecksum(dst []Word, sum uint8, width int) []Word {
 // JoinChecksum reassembles a CRC-8 value from channel words produced by
 // SplitChecksum. Words beyond the CRC-8 width are ignored.
 func JoinChecksum(words []Word, width int) uint8 {
+	// Width clamps as in SplitChecksum. A nonpositive width masks every
+	// payload to zero today, so returning zero directly is identical.
+	if width < 1 {
+		return 0
+	}
+	if width > 32 {
+		width = 32
+	}
 	var v uint32
 	shift := 0
 	for _, w := range words {
@@ -108,7 +136,7 @@ func JoinChecksum(words []Word, width int) uint8 {
 			break
 		}
 	}
-	return uint8(v)
+	return uint8(v & 0xff)
 }
 
 func min(a, b int) int {

@@ -120,19 +120,28 @@ func (w Word) String() string {
 }
 
 // MakeData returns a Data word carrying payload masked to width bits.
+//
+//metrovet:width channel widths reach here from validated configs; Config.Validate and the scan/NIC constructors bound them to 1..32
 func MakeData(payload uint32, width int) Word {
 	return Word{Kind: Data, Payload: payload & Mask(width)}
 }
 
 // MakeRoute returns a Route word carrying bits routing bits.
+//
+//metrovet:truncate route bit counts are per-hop direction widths, far below 255
 func MakeRoute(payload uint32, bits int) Word {
 	return Word{Kind: Route, Payload: payload, Bits: uint8(bits)}
 }
 
-// Mask returns a bit mask covering a width-bit payload.
+// Mask returns a bit mask covering a width-bit payload. Widths outside
+// [1, 32] clamp to an empty or full mask, so the shift below stays
+// within the 32-bit operand.
 func Mask(width int) uint32 {
 	if width >= 32 {
 		return ^uint32(0)
+	}
+	if width < 1 {
+		return 0
 	}
 	return (1 << uint(width)) - 1
 }
