@@ -11,6 +11,13 @@
 //	metrobench -bench SteadyCycle       # subset by benchmark name
 //	metrobench -benchtime 100x -count 3 # quick, or statistically sturdier
 //	metrobench -stdout                  # print the JSON, write nothing
+//	metrobench -scale 4096,65536        # kernel scaling curve (topo.Scale)
+//	metrobench -bench none -scale 4096  # curve only, skip the bench sweep
+//	metrobench -index 4 -force          # pin the index, overwrite existing
+//
+// Snapshots never overwrite silently: writing to an existing
+// BENCH_<n>.json (only reachable by pinning -index) fails unless -force
+// is given.
 package main
 
 import (
@@ -59,6 +66,7 @@ type Snapshot struct {
 	Count      int              `json:"count"`
 	Benchmarks []Benchmark      `json:"benchmarks"`
 	Tracing    *TracingOverhead `json:"tracing_overhead,omitempty"`
+	Scale      []ScalePoint     `json:"scale,omitempty"`
 }
 
 func main() {
@@ -68,24 +76,52 @@ func main() {
 	count := flag.Int("count", 1, "repetitions per benchmark (go test -count)")
 	dir := flag.String("dir", "perf", "perf trajectory directory")
 	stdout := flag.Bool("stdout", false, "print the snapshot JSON instead of writing a file")
+	scale := flag.String("scale", "", "comma-separated endpoint counts for the kernel scaling curve (empty = off)")
+	scaleRadix := flag.Int("scale-radix", 4, "router radix for the scaling curve (topo.Scale)")
+	scaleCycles := flag.Int("scale-cycles", 256, "measured cycles per scaling point")
+	scaleWorkers := flag.String("scale-workers", "0,1,2,4,8", "comma-separated worker counts swept per scaling size (0 = serial engine)")
+	index := flag.Int("index", 0, "snapshot index to write (0 = next free BENCH_<n>.json)")
+	force := flag.Bool("force", false, "allow overwriting an existing BENCH_<n>.json")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "metrobench: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
 	}
 
-	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
-		"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
-	args = append(args, strings.Fields(*pkgs)...)
-	out, err := exec.Command("go", args...).CombinedOutput()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "metrobench: go %s: %v\n%s", strings.Join(args, " "), err, out)
-		os.Exit(1)
+	var benchmarks []Benchmark
+	if *bench != "none" {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+			"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
+		args = append(args, strings.Fields(*pkgs)...)
+		out, err := exec.Command("go", args...).CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrobench: go %s: %v\n%s", strings.Join(args, " "), err, out)
+			os.Exit(1)
+		}
+		benchmarks = parse(string(out))
+		if len(benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "metrobench: no benchmarks matched %q in %s\n%s", *bench, *pkgs, out)
+			os.Exit(1)
+		}
+	} else if *scale == "" {
+		fmt.Fprintf(os.Stderr, "metrobench: -bench none without -scale would write an empty snapshot\n")
+		os.Exit(2)
 	}
-	benchmarks := parse(string(out))
-	if len(benchmarks) == 0 {
-		fmt.Fprintf(os.Stderr, "metrobench: no benchmarks matched %q in %s\n%s", *bench, *pkgs, out)
-		os.Exit(1)
+
+	var scalePoints []ScalePoint
+	if *scale != "" {
+		sizes, err := parseIntList("scale", *scale)
+		if err == nil {
+			var workers []int
+			workers, err = parseIntList("scale-workers", *scaleWorkers)
+			if err == nil {
+				scalePoints, err = runScale(sizes, *scaleRadix, *scaleCycles, workers)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrobench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	snap := Snapshot{
@@ -99,10 +135,11 @@ func main() {
 		Count:      *count,
 		Benchmarks: benchmarks,
 		Tracing:    overhead(benchmarks),
+		Scale:      scalePoints,
 	}
 
 	if *stdout {
-		snap.Index = nextIndex(*dir)
+		snap.Index = pickIndex(*index, *dir)
 		emit(os.Stdout, snap)
 		report(snap)
 		return
@@ -111,8 +148,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metrobench: %v\n", err)
 		os.Exit(1)
 	}
-	snap.Index = nextIndex(*dir)
+	snap.Index = pickIndex(*index, *dir)
 	path := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", snap.Index))
+	if _, err := os.Stat(path); err == nil && !*force {
+		fmt.Fprintf(os.Stderr, "metrobench: %s exists; pass -force to overwrite\n", path)
+		os.Exit(1)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "metrobench: %v\n", err)
@@ -146,6 +187,11 @@ func report(snap Snapshot) {
 		fmt.Printf("  tracing overhead: %.1f ns/cycle -> %.1f ns/cycle (%+.1f%%)\n",
 			snap.Tracing.DisabledNsPerCycle, snap.Tracing.EnabledNsPerCycle,
 			snap.Tracing.OverheadPct)
+	}
+	for _, p := range snap.Scale {
+		fmt.Printf("  scale %6d eps (radix %d, %d routers) w=%d: %10.0f ns/cycle %8.1f cycles/s %6.2f ns/ep/cycle %6d B/ep\n",
+			p.Endpoints, p.Radix, p.Routers, p.Workers,
+			p.NsPerCycle, p.CyclesPerSec, p.NsPerEndpointCycle, p.BytesPerEndpoint)
 	}
 }
 
@@ -227,6 +273,15 @@ func overhead(benchmarks []Benchmark) *TracingOverhead {
 		EnabledNsPerCycle:  enabled,
 		OverheadPct:        (enabled - disabled) / disabled * 100,
 	}
+}
+
+// pickIndex resolves the snapshot index: a pinned -index wins, otherwise
+// the next free slot in the trajectory.
+func pickIndex(pinned int, dir string) int {
+	if pinned > 0 {
+		return pinned
+	}
+	return nextIndex(dir)
 }
 
 // nextIndex returns 1 + the highest existing BENCH_<n>.json index.

@@ -70,3 +70,57 @@ func TestFailureModes(t *testing.T) {
 	clitest.ExitCode(t, 1, "metrobench", "-bench", "NoSuchBenchmarkAnywhere",
 		"-benchtime", "1x", "-pkgs", "metro/internal/telemetry", "-dir", t.TempDir())
 }
+
+// TestScaleSnapshotAndOverwriteGuard runs a scale-only snapshot (no
+// benchmark subprocess) on a tiny kernel network, pins the recorded
+// curve fields, and checks the overwrite contract: re-writing a pinned
+// index fails without -force and succeeds with it.
+func TestScaleSnapshotAndOverwriteGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	args := []string{"-bench", "none", "-scale", "16", "-scale-cycles", "8",
+		"-scale-workers", "0,2", "-index", "3", "-dir", dir}
+	clitest.Run(t, "metrobench", args...)
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Index int `json:"index"`
+		Scale []struct {
+			Endpoints int     `json:"endpoints"`
+			Radix     int     `json:"radix"`
+			Routers   int     `json:"routers"`
+			Workers   int     `json:"workers"`
+			Cycles    uint64  `json:"cycles"`
+			NsPerCyc  float64 `json:"ns_per_cycle"`
+		} `json:"scale"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Index != 3 || len(snap.Scale) != 2 {
+		t.Fatalf("snapshot incomplete: %+v", snap)
+	}
+	for i, p := range snap.Scale {
+		if p.Endpoints != 16 || p.Radix != 4 || p.Routers == 0 ||
+			p.Cycles != 8 || p.NsPerCyc <= 0 {
+			t.Fatalf("scale point %d wrong: %+v", i, p)
+		}
+	}
+	if snap.Scale[0].Workers != 0 || snap.Scale[1].Workers != 2 {
+		t.Fatalf("worker sweep wrong: %+v", snap.Scale)
+	}
+
+	// Same pinned index again: refused without -force, honored with it.
+	out := clitest.ExitCode(t, 1, "metrobench", args...)
+	if !strings.Contains(string(out), "-force") {
+		t.Fatalf("overwrite refusal does not mention -force:\n%s", out)
+	}
+	clitest.Run(t, "metrobench", append(args, "-force")...)
+
+	// -bench none with no -scale would write an empty snapshot: misuse.
+	clitest.ExitCode(t, 2, "metrobench", "-bench", "none", "-dir", dir)
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"metro/internal/netsim"
+	"metro/internal/nic"
+	"metro/internal/topo"
+)
+
+// ScalePoint is one measured point of the kernel scaling curve: a
+// Figure 3-family network (topo.Scale) at a given endpoint count,
+// stepped on the compiled kernel under closed-loop load with a given
+// worker count. The curve answers the METRO scaling question directly:
+// how much wall clock does one network cycle cost as the machine grows,
+// and how much of it the partitioned engine claws back per worker.
+type ScalePoint struct {
+	Endpoints          int     `json:"endpoints"`
+	Radix              int     `json:"radix"`
+	Stages             int     `json:"stages"`
+	Routers            int     `json:"routers"`
+	Links              int     `json:"links"`
+	Workers            int     `json:"workers"`
+	Cycles             int     `json:"cycles"`
+	Delivered          int     `json:"delivered"`
+	BuildMs            float64 `json:"build_ms"`
+	BytesPerEndpoint   int64   `json:"bytes_per_endpoint"`
+	NsPerCycle         float64 `json:"ns_per_cycle"`
+	CyclesPerSec       float64 `json:"cycles_per_sec"`
+	NsPerEndpointCycle float64 `json:"ns_per_endpoint_cycle"`
+}
+
+var scalePayload = [4]byte{0xa5, 0x3c, 0x96, 0x0f}
+
+// runScale measures the kernel scaling curve: for each endpoint count it
+// builds one compiled-kernel network, charges the build's heap growth to
+// the size (bytes/endpoint), then sweeps the worker counts over the same
+// warm network. Load is closed-loop — endpoints/8 messages stay in
+// flight, every completion immediately replaced — so each measured cycle
+// sees the same steady congestion regardless of size.
+func runScale(sizes []int, radix, cycles int, workers []int) ([]ScalePoint, error) {
+	points := make([]ScalePoint, 0, len(sizes)*len(workers))
+	for _, endpoints := range sizes {
+		spec, err := topo.Scale(endpoints, radix)
+		if err != nil {
+			return nil, err
+		}
+		completed := 0
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		buildStart := time.Now()
+		n, err := netsim.Build(netsim.Params{
+			Spec: spec, Width: 8, DataPipe: 2, LinkDelay: 1,
+			Seed: 71, RetryLimit: 600, ListenTimeout: 200, Kernel: true,
+			OnResult: func(nic.Result) { completed++ },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scale %d: %v", endpoints, err)
+		}
+		buildMs := float64(time.Since(buildStart).Nanoseconds()) / 1e6
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		bytesPerEndpoint := int64(after.HeapAlloc-before.HeapAlloc) / int64(endpoints)
+
+		rng := rand.New(rand.NewSource(17))
+		send := func() {
+			src, dest := rng.Intn(endpoints), rng.Intn(endpoints)
+			if dest == src {
+				dest = (dest + 1) % endpoints
+			}
+			n.Send(src, dest, scalePayload[:])
+		}
+		inflight := endpoints / 8
+		if inflight < 64 {
+			inflight = 64
+		}
+		for i := 0; i < inflight; i++ {
+			send()
+		}
+		warmup := cycles / 4
+		if warmup < 64 {
+			warmup = 64
+		}
+		step := func(count int) (delivered int) {
+			for i := 0; i < count; i++ {
+				n.Engine.Step()
+				for ; completed > 0; completed-- {
+					delivered++
+					send()
+				}
+				n.ResetResults()
+			}
+			return delivered
+		}
+		for _, w := range workers {
+			n.Engine.SetWorkers(w)
+			step(warmup)
+			start := time.Now()
+			delivered := step(cycles)
+			elapsed := time.Since(start)
+			nsPerCycle := float64(elapsed.Nanoseconds()) / float64(cycles)
+			points = append(points, ScalePoint{
+				Endpoints:          endpoints,
+				Radix:              radix,
+				Stages:             len(spec.Stages),
+				Routers:            n.Topo.RouterCount(),
+				Links:              n.Topo.LinkCount(),
+				Workers:            w,
+				Cycles:             cycles,
+				Delivered:          delivered,
+				BuildMs:            buildMs,
+				BytesPerEndpoint:   bytesPerEndpoint,
+				NsPerCycle:         nsPerCycle,
+				CyclesPerSec:       1e9 / nsPerCycle,
+				NsPerEndpointCycle: nsPerCycle / float64(endpoints),
+			})
+		}
+		n.Close()
+	}
+	return points, nil
+}
+
+// parseIntList parses a comma-separated list of non-negative integers.
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("-%s: bad value %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flagName)
+	}
+	return out, nil
+}

@@ -13,6 +13,7 @@
 //	metrofuzz -seeds 100 -start 500 # ensemble over seeds 500..599
 //	metrofuzz -seed 42 -v           # one generated scenario, verbosely
 //	metrofuzz -replay 'mf1;...'     # re-run a reported repro spec
+//	metrofuzz -seeds 50 -kernel     # arm the kernel-vs-reference oracle
 //
 // Every scenario is a pure function of its seed, so a failure seen
 // anywhere reproduces everywhere. Exit status is 1 when any oracle
@@ -39,6 +40,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print one line per scenario")
 	traceOut := flag.String("trace", "", "single-scenario mode: record the serial reference leg's telemetry to this mtr1 file")
 	metrics := flag.Bool("metrics", false, "single-scenario mode: print the serial reference leg's telemetry summary")
+	kernel := flag.Bool("kernel", false, "also run every scenario on the compiled flat kernel and demand bit-identity with the serial reference")
 	flag.Parse()
 
 	switch {
@@ -48,9 +50,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err) // decode errors carry the metrofuzz: prefix
 			os.Exit(2)
 		}
-		os.Exit(runOne(s, *shrink, *shrinkRuns, true, *traceOut, *metrics))
+		os.Exit(runOne(s, *shrink, *shrinkRuns, true, *traceOut, *metrics, *kernel))
 	case *seed >= 0:
-		os.Exit(runOne(metrofuzz.Generate(*seed), *shrink, *shrinkRuns, true, *traceOut, *metrics))
+		os.Exit(runOne(metrofuzz.Generate(*seed), *shrink, *shrinkRuns, true, *traceOut, *metrics, *kernel))
 	default:
 		if *traceOut != "" || *metrics {
 			fmt.Fprintln(os.Stderr, "metrofuzz: -trace/-metrics need a single scenario (-seed or -replay)")
@@ -60,13 +62,13 @@ func main() {
 		if n <= 0 {
 			n = 20
 		}
-		os.Exit(runEnsemble(*start, n, *shrink, *shrinkRuns, *verbose))
+		os.Exit(runEnsemble(*start, n, *shrink, *shrinkRuns, *verbose, *kernel))
 	}
 }
 
 // runOne executes a single scenario and reports it in full.
-func runOne(s metrofuzz.Scenario, shrink bool, shrinkRuns int, verbose bool, traceOut string, metrics bool) int {
-	hooks := metrofuzz.Hooks{}
+func runOne(s metrofuzz.Scenario, shrink bool, shrinkRuns int, verbose bool, traceOut string, metrics bool, kernel bool) int {
+	hooks := metrofuzz.Hooks{KernelOracle: kernel}
 	if traceOut != "" || metrics {
 		hooks.Recorder = telemetry.New(telemetry.Options{})
 	}
@@ -100,25 +102,28 @@ func runOne(s metrofuzz.Scenario, shrink bool, shrinkRuns int, verbose bool, tra
 		fmt.Printf("ok: all oracles passed (%d messages, %d cycles)\n", rep.Offered, rep.Cycles)
 		return 0
 	}
-	reportFailure(rep, shrink, shrinkRuns)
+	reportFailure(rep, shrink, shrinkRuns, kernel)
 	return 1
 }
 
 // runEnsemble sweeps generated scenarios and prints an oracle summary.
-func runEnsemble(start int64, n int, shrink bool, shrinkRuns int, verbose bool) int {
+func runEnsemble(start int64, n int, shrink bool, shrinkRuns int, verbose bool, kernel bool) int {
 	checked := map[string]int{}
 	fired := map[string]int{}
 	var failed []*metrofuzz.Report
 	offered, delivered, duplicates, faults := 0, 0, 0, 0
 	for i := 0; i < n; i++ {
 		s := metrofuzz.Generate(start + int64(i))
-		rep := metrofuzz.Run(s, metrofuzz.Hooks{})
+		rep := metrofuzz.Run(s, metrofuzz.Hooks{KernelOracle: kernel})
 		offered += rep.Offered
 		delivered += rep.Delivered
 		duplicates += rep.Duplicates
 		faults += rep.FaultsFired
 		for _, o := range metrofuzz.OracleNames {
 			if o == "differential" && s.Workers == 0 {
+				continue
+			}
+			if o == "kernel" && !kernel {
 				continue
 			}
 			checked[o]++
@@ -157,20 +162,22 @@ func runEnsemble(start int64, n int, shrink bool, shrinkRuns int, verbose bool) 
 	}
 	fmt.Println()
 	for _, rep := range failed {
-		reportFailure(rep, shrink, shrinkRuns)
+		reportFailure(rep, shrink, shrinkRuns, kernel)
 	}
 	return 1
 }
 
-// reportFailure prints a failing report and its shrunk repro.
-func reportFailure(rep *metrofuzz.Report, shrink bool, shrinkRuns int) {
+// reportFailure prints a failing report and its shrunk repro. The
+// shrinker re-arms the kernel oracle so kernel-divergence failures
+// still reproduce while shrinking.
+func reportFailure(rep *metrofuzz.Report, shrink bool, shrinkRuns int, kernel bool) {
 	fmt.Printf("FAIL: %s\n", describe(rep))
 	fmt.Printf("  spec: %s\n", rep.Spec)
 	for _, f := range rep.Failures {
 		fmt.Printf("  %s\n", f)
 	}
 	if shrink {
-		min, minRep := metrofuzz.Shrink(rep.Scenario, metrofuzz.Hooks{}, shrinkRuns)
+		min, minRep := metrofuzz.Shrink(rep.Scenario, metrofuzz.Hooks{KernelOracle: kernel}, shrinkRuns)
 		_ = min
 		fmt.Printf("  shrunk: %s\n", describe(minRep))
 		for _, f := range minRep.Failures {

@@ -31,6 +31,7 @@ var bcePackages = []string{
 	"./internal/core",
 	"./internal/nic",
 	"./internal/cascade",
+	"./internal/kernel",
 }
 
 // bceCheck is one surviving bounds check: a module-relative position

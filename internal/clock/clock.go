@@ -55,6 +55,40 @@ type Component interface {
 	Commit(cycle uint64)
 }
 
+// Kernel is a compiled execution plan: a fixed population of evaluation
+// units plus batched commit work, standing in for the sharded component
+// plane. Where the per-component engine dispatches a virtual Eval/Commit
+// per registered component, a kernel exposes its units by dense index so
+// the engine can drive them with plain loops — serially in index order, or
+// partitioned into contiguous index ranges across workers.
+//
+// Units must obey the same isolation contract as sharded components: a
+// unit's EvalUnit touches only unit-local state plus the staged slots of
+// its attached links, and CommitUnit latches only unit-local registers, so
+// any index partition yields bit-for-bit the serial schedule. State owned
+// by no single unit — batched link shuttling through a link.Arena — is
+// advanced by CommitBatch(part, parts), which the engine calls exactly once
+// per partition during the commit phase; implementations must touch
+// disjoint memory for disjoint parts.
+//
+// Serialized components registered with Add still run as the epilogue of
+// each phase, after every unit, in registration order — the same schedule
+// they have on the per-component path.
+type Kernel interface {
+	// Units returns the number of evaluation units. Fixed for the
+	// lifetime of the kernel.
+	Units() int
+	// EvalUnits runs the eval phase of units [lo, hi) in index order.
+	// Range-based so the inner loop compiles into the kernel — one
+	// interface call per partition per phase, not one per unit.
+	EvalUnits(lo, hi int, cycle uint64)
+	// CommitUnits runs the commit phase of units [lo, hi) in index order.
+	CommitUnits(lo, hi int, cycle uint64)
+	// CommitBatch advances shared bulk state (link pipelines) for one
+	// partition of parts total. Serial execution calls CommitBatch(0, 1).
+	CommitBatch(part, parts int, cycle uint64)
+}
+
 // ShardAffinity identifies a co-location group: every component registered
 // under the same affinity is evaluated by the same worker, in registration
 // order, so components that share combinational or randomness state within
@@ -83,6 +117,8 @@ type Engine struct {
 	cycle   uint64
 	workers int
 	pool    *pool
+	kernel  Kernel
+	kpool   *kernelPool
 }
 
 // New returns an empty engine at cycle 0, in serial mode.
@@ -116,6 +152,9 @@ func (e *Engine) AddSharded(a ShardAffinity, cs ...Component) {
 	if a < 0 || a >= e.nextAff {
 		panic("clock: AddSharded affinity was not obtained from NewShardAffinity")
 	}
+	if e.kernel != nil {
+		panic("clock: AddSharded after SetKernel — the kernel owns the sharded plane")
+	}
 	e.invalidate()
 	for _, c := range cs {
 		e.entries = append(e.entries, entry{comp: c, shard: a})
@@ -129,6 +168,26 @@ func (e *Engine) AddColocated(cs ...Component) ShardAffinity {
 	e.AddSharded(a, cs...)
 	return a
 }
+
+// SetKernel installs a compiled kernel as the engine's sharded plane. The
+// kernel replaces AddSharded registration entirely: it is an error to mix
+// the two (the per-component and compiled planes would race over the same
+// link state). Components registered with plain Add keep running as the
+// serialized epilogue of each phase. SetWorkers applies to kernels exactly
+// as it does to sharded components: units are partitioned by contiguous
+// index range instead of by affinity.
+func (e *Engine) SetKernel(k Kernel) {
+	for i := range e.entries {
+		if e.entries[i].shard != serialized {
+			panic("clock: SetKernel with sharded components registered — the kernel owns the sharded plane")
+		}
+	}
+	e.invalidate()
+	e.kernel = k
+}
+
+// Kernel returns the installed kernel, or nil on the per-component path.
+func (e *Engine) Kernel() Kernel { return e.kernel }
 
 // SetWorkers selects the execution mode: 0 (or negative) restores the
 // serial reference engine; n >= 1 partitions sharded components across n
@@ -160,6 +219,10 @@ func (e *Engine) invalidate() {
 		e.pool.stop()
 		e.pool = nil
 	}
+	if e.kpool != nil {
+		e.kpool.stop()
+		e.kpool = nil
+	}
 }
 
 // Cycle returns the number of completed clock cycles.
@@ -170,6 +233,10 @@ func (e *Engine) Components() int { return len(e.entries) }
 
 // Step advances the system by one clock cycle.
 func (e *Engine) Step() {
+	if e.kernel != nil {
+		e.stepKernel()
+		return
+	}
 	if e.workers == 0 {
 		c := e.cycle
 		for i := range e.entries {
@@ -192,6 +259,43 @@ func (e *Engine) Step() {
 	e.pool.phase(phaseCommit, c)
 	for _, comp := range e.pool.serial {
 		comp.Commit(c)
+	}
+	e.cycle++
+}
+
+// stepKernel advances one cycle on the compiled-kernel path. The serial
+// schedule — every unit in index order, then the epilogue — is the
+// reference; the parallel schedule partitions units into contiguous index
+// ranges with the same phase barrier and epilogue discipline as the
+// per-component pool, and is bit-for-bit equivalent because units are
+// isolated and commit effects are order-free.
+func (e *Engine) stepKernel() {
+	k := e.kernel
+	c := e.cycle
+	if e.workers == 0 {
+		n := k.Units()
+		k.EvalUnits(0, n, c)
+		for i := range e.entries {
+			e.entries[i].comp.Eval(c)
+		}
+		k.CommitUnits(0, n, c)
+		k.CommitBatch(0, 1, c)
+		for i := range e.entries {
+			e.entries[i].comp.Commit(c)
+		}
+		e.cycle++
+		return
+	}
+	if e.kpool == nil {
+		e.kpool = newKernelPool(e.workers, k)
+	}
+	e.kpool.phase(phaseEval, c)
+	for i := range e.entries {
+		e.entries[i].comp.Eval(c)
+	}
+	e.kpool.phase(phaseCommit, c)
+	for i := range e.entries {
+		e.entries[i].comp.Commit(c)
 	}
 	e.cycle++
 }
@@ -310,6 +414,77 @@ func (p *pool) phase(kind phaseKind, cycle uint64) {
 
 // stop shuts the workers down and waits for them to exit.
 func (p *pool) stop() {
+	for _, ch := range p.cmd {
+		close(ch)
+	}
+	p.done.Wait()
+}
+
+// kernelPool drives a compiled kernel with persistent workers. The unit
+// population is split into parts contiguous index ranges (parts = the
+// configured worker count, so the partition is a pure function of the
+// kernel, not of GOMAXPROCS); goroutine count is bounded by GOMAXPROCS,
+// each goroutine executing partitions i, i+g, i+2g, … in order, exactly
+// like pool's shard striping. During the commit phase each partition also
+// runs its share of the batched link shuttle via CommitBatch.
+type kernelPool struct {
+	k       Kernel
+	parts   int
+	bounds  []int // partition p covers units [bounds[p], bounds[p+1])
+	cmd     []chan poolCmd
+	barrier sync.WaitGroup
+	done    sync.WaitGroup
+}
+
+func newKernelPool(parts int, k Kernel) *kernelPool {
+	p := &kernelPool{k: k, parts: parts, bounds: make([]int, parts+1)}
+	n := k.Units()
+	for i := 0; i <= parts; i++ {
+		p.bounds[i] = i * n / parts
+	}
+	g := parts
+	if max := runtime.GOMAXPROCS(0); g > max {
+		g = max
+	}
+	p.cmd = make([]chan poolCmd, g)
+	p.done.Add(g)
+	for i := range p.cmd {
+		p.cmd[i] = make(chan poolCmd)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *kernelPool) worker(i int) {
+	defer p.done.Done()
+	stride := len(p.cmd)
+	for cmd := range p.cmd[i] {
+		for part := i; part < p.parts; part += stride {
+			lo, hi := p.bounds[part], p.bounds[part+1]
+			switch cmd.kind {
+			case phaseEval:
+				p.k.EvalUnits(lo, hi, cmd.cycle)
+			case phaseCommit:
+				p.k.CommitUnits(lo, hi, cmd.cycle)
+				p.k.CommitBatch(part, p.parts, cmd.cycle)
+			}
+		}
+		p.barrier.Done()
+	}
+}
+
+// phase broadcasts one half-cycle to every kernel worker and waits for all
+// of them to finish it.
+func (p *kernelPool) phase(kind phaseKind, cycle uint64) {
+	p.barrier.Add(len(p.cmd))
+	for _, ch := range p.cmd {
+		ch <- poolCmd{kind: kind, cycle: cycle}
+	}
+	p.barrier.Wait()
+}
+
+// stop shuts the kernel workers down and waits for them to exit.
+func (p *kernelPool) stop() {
 	for _, ch := range p.cmd {
 		close(ch)
 	}

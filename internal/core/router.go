@@ -220,20 +220,34 @@ func NewRouter(name string, cfg Config, set Settings, rng prng.Source) *Router {
 		candScratch: make([]int, 0, cfg.Outputs),
 		spareBufs:   make([]portBufs, cfg.Outputs),
 	}
+	// All port buffers — live ports and the spare pool — carve out of one
+	// backing array, so a router's per-cycle state lands on a handful of
+	// cache lines instead of 3*(Inputs+Outputs) scattered allocations. The
+	// three-index carves make overflow past a region's capacity a panic
+	// rather than silent aliasing; inject and outQ append only up to the
+	// capacities reserved here (stageInject's worst case and buffer()'s
+	// maxOutQ guard).
+	perSet := cfg.DataPipe + injCap + maxOutQ
+	backing := make([]word.Word, (cfg.Inputs+cfg.Outputs)*perSet)
+	carve := func(length, capacity int) []word.Word {
+		s := backing[:length:capacity]
+		backing = backing[capacity:]
+		return s
+	}
 	for i := range r.fwd {
 		r.fwd[i].bp = -1
-		r.fwd[i].pipe = make([]word.Word, cfg.DataPipe)
-		r.fwd[i].inject = make([]word.Word, 0, injCap)
-		r.fwd[i].outQ = make([]word.Word, 0, maxOutQ)
+		r.fwd[i].pipe = carve(cfg.DataPipe, cfg.DataPipe)
+		r.fwd[i].inject = carve(0, injCap)
+		r.fwd[i].outQ = carve(0, maxOutQ)
 	}
 	for i := range r.busyBy {
 		r.busyBy[i] = -1
 	}
 	for i := range r.spareBufs {
 		r.spareBufs[i] = portBufs{
-			pipe:   make([]word.Word, cfg.DataPipe),
-			inject: make([]word.Word, 0, injCap),
-			outQ:   make([]word.Word, 0, maxOutQ),
+			pipe:   carve(cfg.DataPipe, cfg.DataPipe),
+			inject: carve(0, injCap),
+			outQ:   carve(0, maxOutQ),
 		}
 	}
 	return r
@@ -775,7 +789,11 @@ func (p *fwdPort) turnInPipe() bool {
 func (p *fwdPort) shiftPipe() word.Word {
 	n := len(p.pipe)
 	out := p.pipe[n-1]
-	copy(p.pipe[1:], p.pipe[:n-1])
+	// dp is small (typically 1-2), so an explicit backward walk beats the
+	// copy-call overhead in this per-port per-cycle path.
+	for i := n - 1; i > 0; i-- {
+		p.pipe[i] = p.pipe[i-1]
+	}
 	p.pipe[0] = p.pipeIn
 	p.pipeIn = word.Word{}
 	return out

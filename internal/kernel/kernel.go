@@ -1,0 +1,247 @@
+// Package kernel compiles an assembled METRO network into a flattened
+// struct-of-arrays execution plan for the clock engine.
+//
+// The per-component engine pays a pointer-chasing tax on every cycle: one
+// virtual Eval and Commit per registered component, link pipelines
+// scattered across hundreds of small allocations, and shard dispatch
+// through per-affinity slices. A compiled kernel removes all of it. Link
+// pipeline registers live in flat per-delay-class arenas (link.Arena), so
+// the whole commit phase of the interconnect is a strided sweep over a few
+// contiguous slices. Evaluation units — router columns and endpoints — are
+// stored as parallel arrays (kind, index) walked by plain loops with
+// direct, devirtualized calls per concrete type. Adjacency between units
+// and arena-resident links is precomputed at compile time in CSR form, so
+// structural queries (and the compile-time wiring audit) never touch the
+// component graph again.
+//
+// The component structs are not replaced: a core.Router or nic.Endpoint
+// referenced by a unit is the same object tests, telemetry, and scan
+// already observe, and a link.Link carved from an arena is a view over
+// arena memory. That is the view-struct contract documented in
+// docs/KERNEL.md — the kernel changes where state lives and how it is
+// driven, never what it is.
+//
+// Unit order is the contract that makes the kernel bit-identical to the
+// per-component engine: the builder must be fed units in exactly the order
+// the equivalent AddSharded registrations would occur, and a cascade group
+// is a single unit because its members share an LFSR stream and the
+// wired-AND IN-USE check within a cycle.
+package kernel
+
+import (
+	"fmt"
+
+	"metro/internal/cascade"
+	"metro/internal/core"
+	"metro/internal/link"
+	"metro/internal/nic"
+)
+
+// unitKind discriminates the parallel unit arrays.
+type unitKind uint8
+
+const (
+	unitRouter   unitKind = iota // a single-router column
+	unitCascade                  // a cascaded column: one Group, one unit
+	unitEndpoint                 // a network endpoint
+)
+
+// LinkRef names one arena-resident link: the arena's index in the compiled
+// plan plus the link's index within that arena.
+type LinkRef struct {
+	Arena int32
+	Index int32
+}
+
+// Builder accumulates the flattened layout while netsim elaborates a
+// network. Feed it units in registration order, then Compile.
+type Builder struct {
+	c        Compiled
+	refCount map[LinkRef]int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{refCount: make(map[LinkRef]int)}
+}
+
+// Arena creates a link arena for one delay class and registers it with the
+// plan. Capacity must be exact: the arena panics past it, and Compile
+// audits that every carved link is referenced by exactly two units.
+func (b *Builder) Arena(delay, capacity int) *link.Arena {
+	a := link.NewArena(delay, capacity)
+	b.c.arenas = append(b.c.arenas, a)
+	return a
+}
+
+// ArenaIndex returns the plan index of an arena created by Arena, for
+// building LinkRefs.
+func (b *Builder) ArenaIndex(a *link.Arena) int32 {
+	for i, have := range b.c.arenas {
+		if have == a {
+			return int32(i)
+		}
+	}
+	panic("kernel: arena was not created by this builder")
+}
+
+// AddRouter appends a single-router column unit. attached lists the
+// arena-resident links wired to the router's forward and backward ports.
+func (b *Builder) AddRouter(r *core.Router, attached ...LinkRef) {
+	b.addUnit(unitRouter, int32(len(b.c.routers)), attached)
+	b.c.routers = append(b.c.routers, r)
+}
+
+// AddCascade appends a cascaded-column unit: the whole group evaluates as
+// one unit so its members never split across workers.
+func (b *Builder) AddCascade(g *cascade.Group, attached ...LinkRef) {
+	b.addUnit(unitCascade, int32(len(b.c.groups)), attached)
+	b.c.groups = append(b.c.groups, g)
+}
+
+// AddEndpoint appends an endpoint unit.
+func (b *Builder) AddEndpoint(ep *nic.Endpoint, attached ...LinkRef) {
+	b.addUnit(unitEndpoint, int32(len(b.c.eps)), attached)
+	b.c.eps = append(b.c.eps, ep)
+}
+
+func (b *Builder) addUnit(kind unitKind, idx int32, attached []LinkRef) {
+	b.c.kinds = append(b.c.kinds, kind)
+	b.c.idxs = append(b.c.idxs, idx)
+	b.c.adjStart = append(b.c.adjStart, int32(len(b.c.adj)))
+	b.c.adj = append(b.c.adj, attached...)
+	for _, ref := range attached {
+		b.refCount[ref]++
+	}
+}
+
+// Compile seals the plan. It audits the adjacency tables against the
+// arenas: every carved link must be referenced by exactly two units (its
+// upstream and downstream attachment points), which catches both wiring
+// drift and arena capacity mismatches at assembly time rather than as
+// silent data corruption mid-run.
+func (b *Builder) Compile() (*Compiled, error) {
+	c := &b.c
+	c.adjStart = append(c.adjStart, int32(len(c.adj)))
+	for ai, a := range c.arenas {
+		if a.Len() != a.Cap() {
+			return nil, fmt.Errorf("kernel: arena %d (delay %d) carved %d of %d links", ai, a.Delay(), a.Len(), a.Cap())
+		}
+		for li := 0; li < a.Len(); li++ {
+			ref := LinkRef{Arena: int32(ai), Index: int32(li)}
+			if n := b.refCount[ref]; n != 2 {
+				return nil, fmt.Errorf("kernel: link %s referenced by %d units, want 2", a.At(li).Name(), n)
+			}
+		}
+	}
+	for ref := range b.refCount {
+		if int(ref.Arena) >= len(c.arenas) || int(ref.Index) >= c.arenas[ref.Arena].Len() {
+			return nil, fmt.Errorf("kernel: adjacency ref %+v names no carved link", ref)
+		}
+	}
+	b.refCount = nil
+	return c, nil
+}
+
+// Compiled is the flattened execution plan. It implements clock.Kernel:
+// the engine drives units by contiguous index range and the batched link
+// shuttle by partition, serially or across workers.
+type Compiled struct {
+	// Parallel unit arrays: unit u has kind kinds[u] and indexes the
+	// kind's typed slice at idxs[u].
+	kinds []unitKind
+	idxs  []int32
+
+	routers []*core.Router
+	groups  []*cascade.Group
+	eps     []*nic.Endpoint
+
+	// arenas holds every link pipeline register in the plan, grouped by
+	// delay class.
+	arenas []*link.Arena
+
+	// CSR adjacency: unit u's attached links are adj[adjStart[u]:adjStart[u+1]].
+	adjStart []int32
+	adj      []LinkRef
+}
+
+// Units implements clock.Kernel.
+func (c *Compiled) Units() int { return len(c.kinds) }
+
+// EvalUnits implements clock.Kernel: evaluate units [lo, hi) in index
+// order with direct calls per concrete type.
+//
+//metrovet:bounds the engine partitions [0, Units()) so lo/hi are in range, and idxs parallels kinds by construction
+func (c *Compiled) EvalUnits(lo, hi int, cycle uint64) {
+	// Reslicing to the partition lets the compiler hoist the range's
+	// bounds check out of the loop: kinds and idxs share a length, so
+	// the per-unit loads below compile check-free.
+	kinds := c.kinds[lo:hi]
+	idxs := c.idxs[lo:hi:hi]
+	for u := range kinds {
+		i := idxs[u]
+		switch kinds[u] {
+		case unitRouter:
+			c.routers[i].Eval(cycle)
+		case unitCascade:
+			c.groups[i].Eval(cycle)
+		case unitEndpoint:
+			c.eps[i].Eval(cycle)
+		}
+	}
+}
+
+// CommitUnits implements clock.Kernel. Routers, cascade groups, and
+// endpoints all have empty Commit methods (their state latches via link
+// pipelines, which CommitBatch shuttles), so the calls below compile to
+// nothing — the loop exists so a future unit kind with real commit work
+// slots in without touching the engine.
+//
+//metrovet:bounds the engine partitions [0, Units()) so lo/hi are in range, and idxs parallels kinds by construction
+func (c *Compiled) CommitUnits(lo, hi int, cycle uint64) {
+	kinds := c.kinds[lo:hi]
+	idxs := c.idxs[lo:hi:hi]
+	for u := range kinds {
+		i := idxs[u]
+		switch kinds[u] {
+		case unitRouter:
+			c.routers[i].Commit(cycle)
+		case unitCascade:
+			c.groups[i].Commit(cycle)
+		case unitEndpoint:
+			c.eps[i].Commit(cycle)
+		}
+	}
+}
+
+// CommitBatch implements clock.Kernel: shuttle partition part of every
+// arena's links. Partitions touch disjoint slot regions, so the engine may
+// run them concurrently.
+func (c *Compiled) CommitBatch(part, parts int, cycle uint64) {
+	for _, a := range c.arenas {
+		n := a.Len()
+		a.Shuttle(part*n/parts, (part+1)*n/parts)
+	}
+}
+
+// Arenas returns the plan's link arenas, for introspection and tests.
+func (c *Compiled) Arenas() []*link.Arena { return c.arenas }
+
+// UnitLinks returns unit u's attached links from the CSR adjacency table.
+func (c *Compiled) UnitLinks(u int) []LinkRef {
+	return c.adj[c.adjStart[u]:c.adjStart[u+1]]
+}
+
+// LinkAt resolves a LinkRef to its view struct.
+func (c *Compiled) LinkAt(ref LinkRef) *link.Link {
+	return c.arenas[ref.Arena].At(int(ref.Index))
+}
+
+// Links returns the total number of arena-resident links.
+func (c *Compiled) Links() int {
+	n := 0
+	for _, a := range c.arenas {
+		n += a.Len()
+	}
+	return n
+}

@@ -15,7 +15,7 @@ import (
 
 // OracleNames lists the oracle battery in the order Run applies it.
 var OracleNames = []string{
-	"conservation", "delivery", "payload", "progress", "invariants", "differential",
+	"conservation", "delivery", "payload", "progress", "invariants", "differential", "kernel",
 }
 
 // Hooks are the harness's self-test seams: each one injects a
@@ -39,6 +39,14 @@ type Hooks struct {
 	// telemetry. A Recorder wires into at most one network build, so
 	// Hooks carrying one must be used for exactly one Run.
 	Recorder *telemetry.Recorder
+	// KernelOracle enables the kernel-vs-reference differential leg:
+	// the scenario re-runs on the compiled flat kernel
+	// (netsim.Params.Kernel) for exactly the reference leg's cycle
+	// span, and its result and delivery streams must match the serial
+	// reference bit for bit. Unlike the fields above it arms an oracle
+	// rather than injecting a defect. The other hooks apply to the
+	// kernel leg like any other, so self-test defects stay symmetric.
+	KernelOracle bool
 }
 
 // Failure is one oracle violation.
@@ -83,7 +91,7 @@ func Run(s Scenario, h Hooks) *Report {
 		r.fail("spec", "%v", err)
 		return r
 	}
-	serial, err := runLeg(s, h, 0, true, 0)
+	serial, err := runLeg(s, h, legConfig{checkInv: true})
 	if err != nil {
 		r.fail("build", "%v", err)
 		return r
@@ -102,12 +110,20 @@ func Run(s Scenario, h Hooks) *Report {
 	r.checkPayload(s, h, serial)
 
 	if s.Workers > 0 {
-		par, err := runLeg(s, h, s.Workers, false, serial.cycles)
+		par, err := runLeg(s, h, legConfig{workers: s.Workers, fixedCycles: serial.cycles})
 		if err != nil {
 			r.fail("build", "parallel leg: %v", err)
 			return r
 		}
-		r.checkDifferential(serial, par)
+		r.diffLegs("differential", "parallel", serial, par)
+	}
+	if h.KernelOracle {
+		ker, err := runLeg(s, h, legConfig{kernel: true, fixedCycles: serial.cycles})
+		if err != nil {
+			r.fail("build", "kernel leg: %v", err)
+			return r
+		}
+		r.diffLegs("kernel", "kernel", serial, ker)
 	}
 	return r
 }
@@ -141,13 +157,21 @@ type legOut struct {
 	invariantErr string
 }
 
-// runLeg builds and runs one network. workers selects the engine mode;
-// checkInv enables the per-cycle invariant oracle (serial leg only —
-// the parallel leg is compared against the serial one instead). When
-// fixedCycles > 0 the leg runs exactly that many cycles (the
-// differential leg mirrors the serial leg's span); otherwise it runs to
-// quiescence under a progress watchdog.
-func runLeg(s Scenario, h Hooks, workers int, checkInv bool, fixedCycles uint64) (*legOut, error) {
+// legConfig selects how one leg executes: engine mode (workers /
+// compiled kernel), whether the per-cycle invariant oracle runs
+// (serial reference leg only — the other legs are compared against it
+// instead), and an optional fixed cycle span (differential legs mirror
+// the reference leg's span; 0 means run to quiescence under the
+// progress watchdog).
+type legConfig struct {
+	workers     int
+	kernel      bool
+	checkInv    bool
+	fixedCycles uint64
+}
+
+// runLeg builds and runs one network under the given leg configuration.
+func runLeg(s Scenario, h Hooks, lc legConfig) (*legOut, error) {
 	spec, err := s.Spec()
 	if err != nil {
 		return nil, err
@@ -167,7 +191,8 @@ func runLeg(s Scenario, h Hooks, workers int, checkInv bool, fixedCycles uint64)
 		MaxActiveSenders:   s.MaxActiveSenders,
 		RetryLimit:         s.RetryLimit,
 		ListenTimeout:      uint64(s.ListenTimeout),
-		Workers:            workers,
+		Workers:            lc.workers,
+		Kernel:             lc.kernel,
 		OnResult: func(res nic.Result) {
 			inj.onResult(res)
 			if h.DropResult != nil && h.DropResult(res) {
@@ -186,7 +211,7 @@ func runLeg(s Scenario, h Hooks, workers int, checkInv bool, fixedCycles uint64)
 	// The recorder observes the serial reference leg only (checkInv
 	// marks it): a recorder wires into one build, and the parallel leg
 	// is audited against the serial one rather than traced itself.
-	if h.Recorder != nil && checkInv {
+	if h.Recorder != nil && lc.checkInv {
 		p.Recorder = h.Recorder
 	}
 	n, err := netsim.Build(p)
@@ -200,8 +225,8 @@ func runLeg(s Scenario, h Hooks, workers int, checkInv bool, fixedCycles uint64)
 	inj.bind(n)
 	finj := fault.NewInjector(n, s.Faults)
 
-	if fixedCycles > 0 {
-		n.Run(fixedCycles)
+	if lc.fixedCycles > 0 {
+		n.Run(lc.fixedCycles)
 		leg.cycles = n.Engine.Cycle()
 		leg.fired = finj.Fired()
 		return leg, nil
@@ -242,7 +267,7 @@ func runLeg(s Scenario, h Hooks, workers int, checkInv bool, fixedCycles uint64)
 			lastCount = c
 			lastEvent = n.Engine.Cycle()
 		}
-		if checkInv {
+		if lc.checkInv {
 			if msg := checkAllInvariants(n); msg != "" && leg.invariantErr == "" {
 				leg.invariantErr = fmt.Sprintf("cycle %d: %s", n.Engine.Cycle(), msg)
 				break
@@ -540,35 +565,38 @@ func (r *Report) checkPayload(s Scenario, h Hooks, leg *legOut) {
 	}
 }
 
-// checkDifferential: the parallel engine must reproduce the serial
-// reference bit for bit — same completions, same deliveries, same order.
-func (r *Report) checkDifferential(serial, par *legOut) {
-	if len(serial.results) != len(par.results) {
-		r.fail("differential", "serial leg completed %d messages, parallel leg %d",
-			len(serial.results), len(par.results))
+// diffLegs: an alternative engine leg (the partitioned parallel engine,
+// or the compiled flat kernel) must reproduce the serial reference bit
+// for bit — same completions, same deliveries, same order. oracle names
+// the firing oracle ("differential" or "kernel"), legName the leg under
+// audit in the failure text.
+func (r *Report) diffLegs(oracle, legName string, serial, other *legOut) {
+	if len(serial.results) != len(other.results) {
+		r.fail(oracle, "serial leg completed %d messages, %s leg %d",
+			len(serial.results), legName, len(other.results))
 	}
 	for i := range serial.results {
-		if i >= len(par.results) {
+		if i >= len(other.results) {
 			break
 		}
-		if !reflect.DeepEqual(serial.results[i], par.results[i]) {
-			r.fail("differential", "result %d diverges: serial %+v, parallel %+v",
-				i, serial.results[i], par.results[i])
+		if !reflect.DeepEqual(serial.results[i], other.results[i]) {
+			r.fail(oracle, "result %d diverges: serial %+v, %s %+v",
+				i, serial.results[i], legName, other.results[i])
 			break
 		}
 	}
-	if len(serial.deliveries) != len(par.deliveries) {
-		r.fail("differential", "serial leg observed %d deliveries, parallel leg %d",
-			len(serial.deliveries), len(par.deliveries))
+	if len(serial.deliveries) != len(other.deliveries) {
+		r.fail(oracle, "serial leg observed %d deliveries, %s leg %d",
+			len(serial.deliveries), legName, len(other.deliveries))
 	}
 	for i := range serial.deliveries {
-		if i >= len(par.deliveries) {
+		if i >= len(other.deliveries) {
 			break
 		}
-		a, b := serial.deliveries[i], par.deliveries[i]
+		a, b := serial.deliveries[i], other.deliveries[i]
 		if a.Dest != b.Dest || a.Intact != b.Intact || !bytes.Equal(a.Payload, b.Payload) {
-			r.fail("differential", "delivery %d diverges: serial ep%d intact=%v, parallel ep%d intact=%v",
-				i, a.Dest, a.Intact, b.Dest, b.Intact)
+			r.fail(oracle, "delivery %d diverges: serial ep%d intact=%v, %s ep%d intact=%v",
+				i, a.Dest, a.Intact, legName, b.Dest, b.Intact)
 			break
 		}
 	}

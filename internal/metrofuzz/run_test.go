@@ -263,3 +263,47 @@ func TestRecorderHookIsPassive(t *testing.T) {
 		t.Errorf("trace reconstructs %d deliveries, harness saw %d", sum.Delivered, traced.Delivered)
 	}
 }
+
+// TestKernelOracleClean runs a window of generated scenarios with the
+// kernel-vs-reference leg armed: the compiled kernel must reproduce the
+// serial reference bit for bit across everything the generator throws
+// at it — mixed topologies, cascades, faults, variable link delays.
+func TestKernelOracleClean(t *testing.T) {
+	n := 12
+	if testing.Short() || raceEnabled {
+		n = 4
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		rep := Run(Generate(seed), Hooks{KernelOracle: true})
+		for _, f := range rep.Failures {
+			t.Errorf("seed %d: %s", seed, f)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d failed; reproduce with: %s -kernel", seed, rep.Repro())
+		}
+	}
+}
+
+// TestKernelOracleCatchesDivergence: the mutation gate for the kernel
+// oracle. A defect planted only in the kernel leg (the hook checks
+// which engine it landed on) must trip the kernel differential — proof
+// the oracle compares the legs rather than vacuously passing.
+func TestKernelOracleCatchesDivergence(t *testing.T) {
+	s := tinyScenario()
+	s.Workers = 0
+	bug := Hooks{KernelOracle: true, Mutate: func(n *netsim.Network) {
+		if n.Engine.Kernel() == nil {
+			return // leave the serial reference leg clean
+		}
+		for k := range n.Topo.Inject[0] {
+			n.InjectLink(0, k).SetCorruptor(func(w word.Word) word.Word {
+				w.Payload ^= 2
+				return w
+			}, nil)
+		}
+	}}
+	rep := Run(s, bug)
+	if !rep.Failed() || !hasOracle(rep, "kernel") {
+		t.Fatalf("kernel-leg divergence not flagged by the kernel oracle: %v", rep.Failures)
+	}
+}

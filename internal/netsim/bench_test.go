@@ -13,9 +13,14 @@ import (
 // the perf trajectory tracks. The recorder, when non-nil, measures the
 // enabled-tracing overhead; metrobench reports the pair side by side.
 func benchCycles(b *testing.B, rec *telemetry.Recorder) {
+	benchCyclesOn(b, rec, false)
+}
+
+func benchCyclesOn(b *testing.B, rec *telemetry.Recorder, kernel bool) {
 	n, err := Build(Params{
 		Spec: topo.Figure3(), Width: 8, DataPipe: 2, LinkDelay: 1,
 		Seed: 71, RetryLimit: 600, ListenTimeout: 200, Recorder: rec,
+		Kernel: kernel,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -50,4 +55,19 @@ func BenchmarkCongestedStep(b *testing.B) {
 // tracing overhead metrobench records.
 func BenchmarkCongestedStepTraced(b *testing.B) {
 	benchCycles(b, telemetry.New(telemetry.Options{}))
+}
+
+// BenchmarkKernelCongestedStep is the identical congested workload on the
+// compiled struct-of-arrays kernel — the number BENCH_4 compares against
+// BENCH_1's per-component ~38 µs step. The result streams are proven
+// bit-identical by TestKernelDifferentialCongestedFigure3, so the delta
+// is pure execution cost.
+func BenchmarkKernelCongestedStep(b *testing.B) {
+	benchCyclesOn(b, nil, true)
+}
+
+// BenchmarkKernelCongestedStepTraced is the kernel path with the flight
+// recorder attached.
+func BenchmarkKernelCongestedStepTraced(b *testing.B) {
+	benchCyclesOn(b, telemetry.New(telemetry.Options{}), true)
 }

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"metro/internal/link"
+	"metro/internal/topo"
+)
+
+// TestKernelDifferentialCongestedFigure3 is the compiled kernel's
+// equivalence gate: the congested Figure 3 multibutterfly run by the
+// flattened struct-of-arrays kernel — serially and partitioned across
+// {1, 2, 4, 8} workers — must produce bit-for-bit the completed-message
+// stream of the serial per-component reference engine: same per-message
+// latencies, same retry counts, same order, under the same seeds.
+func TestKernelDifferentialCongestedFigure3(t *testing.T) {
+	cycles := 1500
+	if testing.Short() {
+		cycles = 600
+	}
+	params := func(kernel bool, workers int) Params {
+		return Params{
+			Spec: topo.Figure3(), Width: 8, DataPipe: 2, LinkDelay: 1,
+			FastReclaim: false, Seed: 71, RetryLimit: 600, ListenTimeout: 200,
+			Kernel: kernel, Workers: workers,
+		}
+	}
+	want := runCongested(t, params(false, 0), 17, 2, cycles)
+	if len(want) == 0 {
+		t.Fatal("congested run completed no messages; the differential compares nothing")
+	}
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		got := runCongested(t, params(true, workers), 17, 2, cycles)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("kernel workers=%d: %d results diverge from the reference engine's %d (first divergence: %s)",
+				workers, len(got), len(want), firstDivergence(got, want))
+		}
+	}
+}
+
+// TestKernelDifferentialCascade runs the cascade-width-2 co-location gate
+// on the kernel path: a cascaded column is a single evaluation unit, so a
+// partition that split its members would either race (caught by -race) or
+// drift from the shared random stream (caught here) at any worker count.
+func TestKernelDifferentialCascade(t *testing.T) {
+	cycles := 1200
+	if testing.Short() {
+		cycles = 500
+	}
+	params := func(kernel bool, workers int) Params {
+		return Params{
+			Spec: topo.Figure1(), Width: 4, CascadeWidth: 2, DataPipe: 2,
+			LinkDelay: 1, FastReclaim: false, Seed: 29, RetryLimit: 400,
+			ListenTimeout: 150, Kernel: kernel, Workers: workers,
+		}
+	}
+	want := runCongested(t, params(false, 0), 23, 1, cycles)
+	if len(want) == 0 {
+		t.Fatal("cascade run completed no messages; the differential compares nothing")
+	}
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		got := runCongested(t, params(true, workers), 23, 1, cycles)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("kernel workers=%d: %d results diverge from the reference engine's %d (first divergence: %s)",
+				workers, len(got), len(want), firstDivergence(got, want))
+		}
+	}
+}
+
+// TestKernelDifferentialVariableDelays exercises the per-delay-class
+// arena carving: a mix of injection and inter-stage link delays forces
+// multiple arenas, whose batched shuttles must still be cycle-exact
+// against per-link commits.
+func TestKernelDifferentialVariableDelays(t *testing.T) {
+	cycles := 800
+	if testing.Short() {
+		cycles = 400
+	}
+	params := func(kernel bool, workers int) Params {
+		return Params{
+			Spec: topo.Figure3(), Width: 8, DataPipe: 2, LinkDelay: 1,
+			StageLinkDelays: []int{2, 1, 3, 1}, FastReclaim: true,
+			Seed: 5, RetryLimit: 500, ListenTimeout: 250,
+			Kernel: kernel, Workers: workers,
+		}
+	}
+	want := runCongested(t, params(false, 0), 41, 2, cycles)
+	if len(want) == 0 {
+		t.Fatal("variable-delay run completed no messages; the differential compares nothing")
+	}
+	for _, workers := range []int{0, 4} {
+		got := runCongested(t, params(true, workers), 41, 2, cycles)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("kernel workers=%d: %d results diverge from the reference engine's %d (first divergence: %s)",
+				workers, len(got), len(want), firstDivergence(got, want))
+		}
+	}
+}
+
+// TestKernelTraceIdentityCongestedFigure3 is the kernel's observability
+// gate: the flight-recorder stream of a congested Figure 3 run on the
+// compiled kernel must be byte-identical to the per-component serial
+// engine's at every worker count. Buffer registration order is a pure
+// function of the topology on both paths, and a column's buffer is only
+// written by that column's unit, so neither the flattened layout nor the
+// index-range partition may show through in the trace.
+func TestKernelTraceIdentityCongestedFigure3(t *testing.T) {
+	cycles := 1200
+	if testing.Short() {
+		cycles = 500
+	}
+	params := func(kernel bool, workers int) Params {
+		return Params{
+			Spec: topo.Figure3(), Width: 8, DataPipe: 2, LinkDelay: 1,
+			FastReclaim: false, Seed: 71, RetryLimit: 600, ListenTimeout: 200,
+			Kernel: kernel, Workers: workers,
+		}
+	}
+	want := recordCongested(t, params(false, 0), 17, 2, cycles)
+	for _, workers := range []int{0, 1, 4} {
+		got := recordCongested(t, params(true, workers), 17, 2, cycles)
+		if !bytes.Equal(got, want) {
+			t.Errorf("kernel workers=%d: recorded trace diverges from the per-component serial engine (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestKernelWiringAudit pins the compile-time adjacency audit: every
+// arena-resident link is referenced by exactly two units, the arenas are
+// carved exactly full, and the flat link count matches the per-component
+// build's link population.
+func TestKernelWiringAudit(t *testing.T) {
+	p := Params{Spec: topo.Figure3(), Width: 8, Kernel: true}
+	n, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Compiled == nil {
+		t.Fatal("Kernel build produced no compiled plan")
+	}
+	ref, err := Build(Params{Spec: topo.Figure3(), Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	perComp := 0
+	ref.EachLink(func(*link.Link) { perComp++ })
+	if got := n.Compiled.Links(); got != perComp {
+		t.Fatalf("compiled plan holds %d links, per-component build %d", got, perComp)
+	}
+	units := n.Compiled.Units()
+	wantUnits := len(n.Endpoints)
+	for s := range n.Routers {
+		wantUnits += len(n.Routers[s])
+	}
+	if units != wantUnits {
+		t.Fatalf("compiled plan has %d units, want %d (columns + endpoints)", units, wantUnits)
+	}
+	// Adjacency degree check: summed unit degrees = 2 * links.
+	degree := 0
+	for u := 0; u < units; u++ {
+		degree += len(n.Compiled.UnitLinks(u))
+	}
+	if degree != 2*n.Compiled.Links() {
+		t.Fatalf("adjacency degree sum %d, want %d", degree, 2*n.Compiled.Links())
+	}
+}

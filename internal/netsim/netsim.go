@@ -15,6 +15,7 @@ import (
 	"metro/internal/cascade"
 	"metro/internal/clock"
 	"metro/internal/core"
+	"metro/internal/kernel"
 	"metro/internal/link"
 	"metro/internal/nic"
 	"metro/internal/prng"
@@ -98,6 +99,16 @@ type Params struct {
 	// occupancy, open connections, queue depths) when Recorder is set;
 	// 0 samples every cycle.
 	GaugePeriod uint64
+	// Kernel selects the compiled struct-of-arrays execution path: link
+	// pipeline registers live in flat per-delay-class arenas shuttled by
+	// batched copies, and router columns and endpoints are driven as
+	// dense evaluation units instead of individually registered
+	// components (see internal/kernel and docs/KERNEL.md). Every feature
+	// — cascading, tracing, the recorder, fault injection, scan — works
+	// identically, and results are bit-for-bit equal to the
+	// per-component path at every worker count. The per-component path
+	// remains the reference the kernel is differentially tested against.
+	Kernel bool
 	// Workers selects the engine execution mode: 0 (the default) runs
 	// the serial reference engine; n >= 1 runs the partitioned parallel
 	// engine with n shards (stage-major partitioning — each router
@@ -142,6 +153,9 @@ type Network struct {
 	Routers   [][]*core.Router
 	Cascades  [][]*cascade.Group // nil entries when CascadeWidth == 1
 	Endpoints []*nic.Endpoint
+	// Compiled is the flattened execution plan when Params.Kernel is
+	// set, nil on the per-component path.
+	Compiled *kernel.Compiled
 
 	injLinks [][]*link.Link     // [endpoint][k], lane 0
 	outLinks [][][]*link.Link   // [stage][router][bp], lane 0
@@ -252,9 +266,76 @@ func Build(p Params) (*Network, error) {
 		return p.HeaderWords
 	}
 
+	// Compiled-kernel layout. Units are numbered router columns first
+	// (stage-major, matching the AddSharded registration order of the
+	// per-component path, which is what makes the two schedules
+	// bit-identical) and endpoints after. Link capacity per delay class
+	// is counted exactly up front so the arenas are carved full.
+	c := p.CascadeWidth
+	nCols := 0
+	colBase := make([]int, len(p.Spec.Stages))
+	for s, rs := range top.RoutersPerStage {
+		colBase[s] = nCols
+		nCols += rs
+	}
+	colUnit := func(s, j int) int { return colBase[s] + j }
+	epUnit := func(e int) int { return nCols + e }
+	var (
+		kb       *kernel.Builder
+		unitRefs [][]kernel.LinkRef
+		arenaFor map[int]*link.Arena
+		arenaIdx map[int]int32
+	)
+	if p.Kernel {
+		kb = kernel.NewBuilder()
+		unitRefs = make([][]kernel.LinkRef, nCols+p.Spec.Endpoints)
+		counts := make(map[int]int)
+		var delayOrder []int
+		tally := func(tier, links int) {
+			d := delayOf(tier)
+			if _, ok := counts[d]; !ok {
+				delayOrder = append(delayOrder, d)
+			}
+			counts[d] += links
+		}
+		for _, refs := range top.Inject {
+			tally(0, len(refs)*c)
+		}
+		for s := range top.Out {
+			for j := range top.Out[s] {
+				tally(s+1, len(top.Out[s][j])*c)
+			}
+		}
+		arenaFor = make(map[int]*link.Arena, len(delayOrder))
+		arenaIdx = make(map[int]int32, len(delayOrder))
+		for _, d := range delayOrder {
+			a := kb.Arena(d, counts[d])
+			arenaFor[d] = a
+			arenaIdx[d] = kb.ArenaIndex(a)
+		}
+	}
+	// makeLink creates one physical link on whichever plane is selected:
+	// a private allocation registered under the owning shard affinity
+	// (per-component path), or a carve from the tier's delay-class arena
+	// recorded in the adjacency table of both attached units (kernel
+	// path).
+	makeLink := func(tier int, name string, aff clock.ShardAffinity, ua, ub int) *link.Link {
+		if kb == nil {
+			l := link.New(name, delayOf(tier))
+			n.Engine.AddSharded(aff, l)
+			return l
+		}
+		d := delayOf(tier)
+		a := arenaFor[d]
+		ref := kernel.LinkRef{Arena: arenaIdx[d], Index: int32(a.Len())}
+		l := a.New(name)
+		unitRefs[ua] = append(unitRefs[ua], ref)
+		unitRefs[ub] = append(unitRefs[ub], ref)
+		return l
+	}
+
 	// Routers: one per lane; with cascading the lanes form a consistency
 	// group sharing a random stream.
-	c := p.CascadeWidth
 	lanes := make([][][]*core.Router, len(p.Spec.Stages)) // [stage][router][lane]
 	n.Routers = make([][]*core.Router, len(p.Spec.Stages))
 	n.Cascades = make([][]*cascade.Group, len(p.Spec.Stages))
@@ -320,15 +401,16 @@ func Build(p Params) (*Network, error) {
 	for e := 0; e < p.Spec.Endpoints; e++ {
 		e := e
 		cfg := nic.Config{
-			ID:               e,
-			Width:            p.Width,
-			Lanes:            c,
-			Header:           header,
-			RouteDigits:      top.RouteDigits,
-			MaxActiveSenders: p.MaxActiveSenders,
-			RetryLimit:       p.RetryLimit,
-			ListenTimeout:    p.ListenTimeout,
-			CloseGap:         p.DataPipe + 2,
+			ID:                e,
+			Width:             p.Width,
+			Lanes:             c,
+			Header:            header,
+			RouteDigits:       top.RouteDigits,
+			AppendRouteDigits: top.AppendRouteDigits,
+			MaxActiveSenders:  p.MaxActiveSenders,
+			RetryLimit:        p.RetryLimit,
+			ListenTimeout:     p.ListenTimeout,
+			CloseGap:          p.DataPipe + 2,
 			// Completions are buffered per endpoint and replayed by the
 			// collector in endpoint-index order, so parallel endpoint
 			// evaluation cannot perturb the observable result stream.
@@ -395,13 +477,13 @@ func Build(p Params) (*Network, error) {
 			ends := make([]*link.End, c)
 			n.injLanes[e][k] = make([]*link.Link, c)
 			for lane := 0; lane < c; lane++ {
-				l := link.New(fmt.Sprintf("ep%d.%d.l%d->%s", e, k, lane, ref), delayOf(0))
+				l := makeLink(0, fmt.Sprintf("ep%d.%d.l%d->%s", e, k, lane, ref),
+					affEp[e], epUnit(e), colUnit(ref.Stage, ref.Index))
 				n.injLanes[e][k][lane] = l
 				ends[lane] = l.A()
 				r := lanes[ref.Stage][ref.Index][lane]
 				r.AttachForward(ref.Port, l.B())
 				setTurnDelay(r, ref.Port, delayOf(0))
-				n.Engine.AddSharded(affEp[e], l)
 			}
 			n.injLinks[e][k] = n.injLanes[e][k][0]
 			n.Endpoints[e].AttachInject(channel(ends))
@@ -418,8 +500,13 @@ func Build(p Params) (*Network, error) {
 			for bp, ref := range top.Out[s][j] {
 				ends := make([]*link.End, c)
 				n.outLanes[s][j][bp] = make([]*link.Link, c)
+				downUnit := epUnit(ref.Index)
+				if ref.Kind != topo.KindEndpoint {
+					downUnit = colUnit(ref.Stage, ref.Index)
+				}
 				for lane := 0; lane < c; lane++ {
-					l := link.New(fmt.Sprintf("s%dr%d.b%d.l%d->%s", s, j, bp, lane, ref), delayOf(s+1))
+					l := makeLink(s+1, fmt.Sprintf("s%dr%d.b%d.l%d->%s", s, j, bp, lane, ref),
+						affCol[s][j], colUnit(s, j), downUnit)
 					n.outLanes[s][j][bp][lane] = l
 					up := lanes[s][j][lane]
 					up.AttachBackward(bp, l.A())
@@ -430,7 +517,6 @@ func Build(p Params) (*Network, error) {
 						down.AttachForward(ref.Port, l.B())
 						setTurnDelay(down, ref.Port, delayOf(s+1))
 					}
-					n.Engine.AddSharded(affCol[s][j], l)
 				}
 				n.outLinks[s][j][bp] = n.outLanes[s][j][bp][0]
 				if ref.Kind == topo.KindEndpoint {
@@ -440,19 +526,43 @@ func Build(p Params) (*Network, error) {
 		}
 	}
 
-	for s := range n.Routers {
-		for j := range n.Routers[s] {
-			if c == 1 {
-				n.Engine.AddSharded(affCol[s][j], n.Routers[s][j])
-			} else {
-				// The group declares its own co-location contract: all
-				// lanes plus the shared random stream on one shard.
-				n.Cascades[s][j].AddTo(n.Engine, affCol[s][j])
+	if p.Kernel {
+		// Unit order mirrors the AddSharded order below: router columns
+		// stage-major, then endpoints. A cascaded column is one unit for
+		// the same reason AddTo pins the whole group to one shard.
+		for s := range n.Routers {
+			for j := range n.Routers[s] {
+				if c == 1 {
+					kb.AddRouter(n.Routers[s][j], unitRefs[colUnit(s, j)]...)
+				} else {
+					kb.AddCascade(n.Cascades[s][j], unitRefs[colUnit(s, j)]...)
+				}
 			}
 		}
-	}
-	for e, ep := range n.Endpoints {
-		n.Engine.AddSharded(affEp[e], ep)
+		for e, ep := range n.Endpoints {
+			kb.AddEndpoint(ep, unitRefs[epUnit(e)]...)
+		}
+		compiled, err := kb.Compile()
+		if err != nil {
+			return nil, err
+		}
+		n.Compiled = compiled
+		n.Engine.SetKernel(compiled)
+	} else {
+		for s := range n.Routers {
+			for j := range n.Routers[s] {
+				if c == 1 {
+					n.Engine.AddSharded(affCol[s][j], n.Routers[s][j])
+				} else {
+					// The group declares its own co-location contract: all
+					// lanes plus the shared random stream on one shard.
+					n.Cascades[s][j].AddTo(n.Engine, affCol[s][j])
+				}
+			}
+		}
+		for e, ep := range n.Endpoints {
+			n.Engine.AddSharded(affEp[e], ep)
+		}
 	}
 	// The collector must be the first serialized component: after every
 	// sharded Eval (links, routers, endpoints), before any driver or
@@ -525,6 +635,14 @@ func (n *Network) TakeResults() []nic.Result {
 	n.results = nil
 	return r
 }
+
+// ResetResults clears the accumulated reports while keeping the backing
+// array, so long-running drivers that harvest via Results can hold the
+// steady-state cycle at zero allocations. It invalidates slices previously
+// returned by Results (TakeResults is the transfer-of-ownership variant).
+//
+//metrovet:mutator measurement harvesting between runs; does not touch model state
+func (n *Network) ResetResults() { n.results = n.results[:0] }
 
 // RouterAt returns the router at (stage, index).
 //

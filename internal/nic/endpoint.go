@@ -32,6 +32,12 @@ type Config struct {
 	Header HeaderSpec
 	// RouteDigits maps a destination endpoint to per-stage directions.
 	RouteDigits func(dest int) []int
+	// AppendRouteDigits, when set, is the allocation-free variant of
+	// RouteDigits: it appends the per-stage directions to dst and returns
+	// it. RouteDigits remains required (validation and tooling use it);
+	// senders prefer this one so the steady-state retry loop stays off the
+	// heap.
+	AppendRouteDigits func(dst []int, dest int) []int
 	// MaxActiveSenders bounds concurrently transmitting injection links
 	// (Figure 3 restricts each endpoint to one; 0 means no limit).
 	MaxActiveSenders int
@@ -89,7 +95,8 @@ type Endpoint struct {
 	senders   []*sender
 	receivers []*receiver
 	queue     []*pending
-	qHead     int // next queued message; the backing array is reused
+	qHead     int        // next queued message; the backing array is reused
+	free      []*pending // recycled bookkeeping records for future Offers
 	nextSend  int
 }
 
@@ -98,6 +105,17 @@ type Endpoint struct {
 type pending struct {
 	msg Message
 	res Result
+
+	// Cached attempt stream: a retry retransmits the identical words (the
+	// routers' stochastic output selection is what varies the path, not the
+	// source's stream), so the header build, payload packing and expected
+	// per-stage checksums happen once per message rather than once per
+	// attempt. The buffers recycle with the record through the freelist.
+	built    bool
+	words    []word.Word
+	expected [][]uint8 // per lane, per stage
+	sentCRC  uint8
+	stages   int
 }
 
 // New constructs an endpoint. Links are attached afterward.
@@ -151,10 +169,26 @@ func (e *Endpoint) SetTracer(t Tracer) { e.cfg.Tracer = t }
 //metrovet:mutator traffic injection between cycles; drivers call this before Step
 //metrovet:alloc per-message queue bookkeeping at injection, amortized by the message rather than the cycle
 func (e *Endpoint) Offer(msg Message) {
-	e.queue = append(e.queue, &pending{msg: msg, res: Result{
-		Msg: msg, LastBlockedStage: -1, SuspectStage: -1,
-	}})
+	p := e.newPending()
+	p.msg = msg
+	p.res = Result{Msg: msg, LastBlockedStage: -1, SuspectStage: -1}
+	e.queue = append(e.queue, p)
 	e.trace(msg.Created, TraceQueued, msg.ID, msg.Dest, 0)
+}
+
+// newPending pops a recycled bookkeeping record, or allocates the first
+// time a queue depth is reached.
+//
+//metrovet:alloc grows the record pool to the peak in-flight count, then recycles
+//metrovet:bounds n >= 1 inside the branch, so n-1 indexes the freelist tail
+func (e *Endpoint) newPending() *pending {
+	if n := len(e.free); n > 0 {
+		p := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return p
+	}
+	return new(pending)
 }
 
 // QueueLen reports messages waiting for an injection link.
@@ -269,6 +303,15 @@ func (e *Endpoint) finish(p *pending, delivered bool, cycle uint64) {
 	if e.cfg.OnResult != nil {
 		e.cfg.OnResult(p.res)
 	}
+	// Recycle the record: Result was handed out by value, so dropping the
+	// payload and reply references here cannot disturb the receiver. The
+	// stream buffers stay with the record for the next message.
+	words, expected := p.words, p.expected
+	*p = pending{}
+	p.words = words[:0]
+	p.expected = expected
+	//metrovet:alloc freelist push; bounded by the peak in-flight count
+	e.free = append(e.free, p)
 }
 
 // --- sender -----------------------------------------------------------
@@ -299,56 +342,50 @@ func (s sState) String() string {
 	return fmt.Sprintf("sState(%d)", uint8(s))
 }
 
+// dropAction is the disposition a sender applies once its DROP word is on
+// the wire: nothing (the fast-blocked paths dispose inline), finish the
+// dropped message as delivered, or send it around the retry loop.
+type dropAction uint8
+
+const (
+	dropNone dropAction = iota
+	dropFinish
+	dropRetry
+)
+
 type sender struct {
 	e     *Endpoint
 	link  Channel
 	state sState
 
-	p        *pending
-	words    []word.Word
-	idx      int
-	expected [][]uint8 // per lane, per stage
-	sentCRC  uint8
-	parse    parser
+	p     *pending
+	idx   int
+	parse parser
+
+	// Per-build scratch, reused so steady-state builds never allocate.
+	digits    []int       // route digits (AppendRouteDigits path)
+	laneBuf   []word.Word // one lane's projection of the stream (Lanes > 1)
+	ckScratch []word.Word // working copy for expected-checksum stripping
 
 	listenStart uint64
 	cooldown    int
-	afterDrop   func(cycle uint64) // disposition applied once the DROP is out
+	afterDrop   dropAction // disposition applied once the DROP is out
+	dropped     *pending   // the message that disposition applies to
 }
 
-// begin starts a transmission attempt for p. Payload words are packed at
-// the logical channel width; routing words were already sized to the
-// physical component width by the HeaderSpec and are replicated across
-// lanes by the channel.
+// begin starts a transmission attempt for p, building the attempt stream
+// on the first attempt and replaying the cached one on retries.
 //
-//metrovet:alloc per-attempt stream construction, not a per-cycle path
 //metrovet:width logicalWidth = Width*Lanes is validated into [1,32] by New
 func (s *sender) begin(cycle uint64, p *pending) {
 	cfg := s.e.cfg
-	lw := cfg.logicalWidth()
 	s.p = p
-	digits := cfg.RouteDigits(p.msg.Dest)
-	header := cfg.Header.Build(digits)
-	payload := PackBytes(p.msg.Payload, lw)
-	var ck word.Checksum
-	for _, w := range payload {
-		ck.Add(w)
-	}
-	s.sentCRC = ck.Sum()
-	stream := make([]word.Word, 0, len(header)+len(payload)+word.ChecksumWords(lw)+1)
-	stream = append(stream, header...)
-	stream = append(stream, payload...)
-	stream = word.AppendChecksum(stream, s.sentCRC, lw)
-	s.words = append(stream, word.Word{Kind: word.Turn})
-	// Expected per-stage checksums, one set per lane: each routing
-	// component checksums the slice of the stream its lane carries.
-	s.expected = s.expected[:0]
-	for lane := 0; lane < cfg.Lanes; lane++ {
-		s.expected = append(s.expected,
-			cfg.Header.ExpectedStageChecksums(laneSlice(s.words, lane, cfg.Lanes, cfg.Width)))
+	if !p.built {
+		s.build(p)
+		p.built = true
 	}
 	s.idx = 0
-	s.parse = newParser(cfg.Width, lw, cfg.Lanes, len(digits))
+	s.parse.reset(cfg.Width, cfg.logicalWidth(), cfg.Lanes, p.stages)
 	s.state = sSending
 	if p.res.Injected == 0 && p.res.Retries == 0 {
 		p.res.Injected = cycle
@@ -356,37 +393,84 @@ func (s *sender) begin(cycle uint64, p *pending) {
 	s.e.trace(cycle, TraceAttempt, p.msg.ID, p.res.Retries+1, 0)
 }
 
+// build constructs the message's attempt stream into the pending record.
+// Payload words are packed at the logical channel width; routing words
+// were already sized to the physical component width by the HeaderSpec and
+// are replicated across lanes by the channel. Every buffer involved is
+// record- or sender-owned scratch, so a warmed endpoint builds messages
+// without touching the heap.
+//
+//metrovet:alloc scratch buffers grow to the message size once, then recycle across messages
+//metrovet:width logicalWidth = Width*Lanes is validated into [1,32] by New
+//metrovet:bounds headerLen = len(words) at the split, so words[headerLen:] is the appended payload suffix
+func (s *sender) build(p *pending) {
+	cfg := s.e.cfg
+	lw := cfg.logicalWidth()
+	var digits []int
+	if cfg.AppendRouteDigits != nil {
+		s.digits = cfg.AppendRouteDigits(s.digits[:0], p.msg.Dest)
+		digits = s.digits
+	} else {
+		digits = cfg.RouteDigits(p.msg.Dest)
+	}
+	p.stages = len(digits)
+	words := cfg.Header.AppendBuild(p.words[:0], digits)
+	headerLen := len(words)
+	words = AppendPackBytes(words, p.msg.Payload, lw)
+	var ck word.Checksum
+	for _, w := range words[headerLen:] {
+		ck.Add(w)
+	}
+	p.sentCRC = ck.Sum()
+	words = word.AppendChecksum(words, p.sentCRC, lw)
+	p.words = append(words, word.Word{Kind: word.Turn})
+	// Expected per-stage checksums, one set per lane: each routing
+	// component checksums the slice of the stream its lane carries.
+	if len(p.expected) != cfg.Lanes {
+		p.expected = make([][]uint8, cfg.Lanes)
+	}
+	for lane := 0; lane < cfg.Lanes; lane++ {
+		laneStream := p.words
+		if cfg.Lanes > 1 {
+			s.laneBuf = appendLaneSlice(s.laneBuf[:0], p.words, lane, cfg.Width)
+			laneStream = s.laneBuf
+		}
+		p.expected[lane], s.ckScratch =
+			cfg.Header.AppendExpectedStageChecksums(p.expected[lane][:0], laneStream, s.ckScratch)
+	}
+}
+
 // laneSlice projects a logical word stream onto one cascade lane: payload
 // bits are sliced, control words replicated — exactly what the lane's
 // routing component receives.
 //
 //metrovet:alloc per-attempt lane projection, not a per-cycle path
-//metrovet:width lane < Lanes and width = cfg.Width, so lane*width < Width*Lanes <= 32 (validated by New)
-//metrovet:truncate lane and width are nonnegative (lane is a loop index, width a validated channel width)
 func laneSlice(stream []word.Word, lane, lanes, width int) []word.Word {
 	if lanes == 1 {
 		return stream
 	}
-	out := make([]word.Word, len(stream))
-	for i, w := range stream {
+	return appendLaneSlice(make([]word.Word, 0, len(stream)), stream, lane, width)
+}
+
+// appendLaneSlice is the allocation-free core of laneSlice: the lane's
+// projection appends to dst, which is returned.
+//
+//metrovet:alloc appends into caller-owned scratch; steady state reuses capacity
+//metrovet:width lane < Lanes and width = cfg.Width, so lane*width < Width*Lanes <= 32 (validated by New)
+//metrovet:truncate lane and width are nonnegative (lane is a loop index, width a validated channel width)
+func appendLaneSlice(dst []word.Word, stream []word.Word, lane, width int) []word.Word {
+	for _, w := range stream {
 		switch w.Kind {
 		case word.Data, word.ChecksumWord:
-			out[i] = word.Word{Kind: w.Kind,
-				Payload: (w.Payload >> uint(lane*width)) & word.Mask(width)}
+			dst = append(dst, word.Word{Kind: w.Kind,
+				Payload: (w.Payload >> uint(lane*width)) & word.Mask(width)})
 		case word.Empty, word.Route, word.HeaderPad, word.DataIdle,
 			word.Turn, word.Status, word.Drop:
 			// Control words are replicated across lanes.
-			out[i] = w
+			dst = append(dst, w)
 		}
 	}
-	return out
-}
-
-// abort tears the attempt down: transmit DROP, cool down, then apply the
-// disposition (retry or fail).
-func (s *sender) abort(disposition func(cycle uint64)) {
-	s.afterDrop = disposition
-	s.state = sDropping
+	return dst
 }
 
 // eval advances the sender's per-cycle state machine.
@@ -408,10 +492,17 @@ func (s *sender) eval(cycle uint64) {
 		s.link.Send(word.Word{Kind: word.Drop})
 		s.state = sCooldown
 		s.cooldown = s.e.cfg.CloseGap
-		if s.afterDrop != nil {
-			s.afterDrop(cycle)
-			s.afterDrop = nil
+		p := s.dropped
+		s.dropped = nil
+		switch s.afterDrop {
+		case dropFinish:
+			s.e.finish(p, true, cycle)
+		case dropRetry:
+			s.retryOrFailPending(p, cycle)
+		case dropNone:
+			// Disposition already applied when the drop was decided.
 		}
+		s.afterDrop = dropNone
 		return
 
 	case sSending:
@@ -424,9 +515,9 @@ func (s *sender) eval(cycle uint64) {
 			s.cooldown = s.e.cfg.CloseGap
 			return
 		}
-		s.link.Send(s.words[s.idx])
+		s.link.Send(s.p.words[s.idx])
 		s.idx++
-		if s.idx == len(s.words) {
+		if s.idx == len(s.p.words) {
 			s.state = sListening
 			s.listenStart = cycle
 			s.e.trace(cycle, TraceTurnSent, s.p.msg.ID, s.p.res.Retries+1, 0)
@@ -471,31 +562,36 @@ func (s *sender) eval(cycle uint64) {
 
 // abortNow transmits a DROP next cycle and retries (or fails) the message.
 func (s *sender) abortNow(cycle uint64) {
-	s.abort(func(c uint64) {})
+	s.state = sDropping
+	s.afterDrop = dropNone
+	s.dropped = nil
 	s.retryOrFail(cycle)
 }
 
 // complete finishes a successful parse: verify checksums, close the
 // connection, and report.
 //
-//metrovet:bounds the localization condition checks lane < len(expected) and stage < len(expected[lane]) before either index
+//metrovet:bounds the localization condition checks lane < len(expected) and stage < len(expected[lane]) before indexing expected; stage*lanes+lane < stages*lanes = len(routerCks) by stageCount's definition
 func (s *sender) complete(cycle uint64) {
 	p := s.p
 	s.p = nil
 	// Fault localization: first stage whose reported checksum (any lane)
 	// disagrees with the expected value for that lane's slice.
+	lanes := s.parse.lanes
+	stages := s.parse.stageCount()
 localize:
-	for stage, laneSums := range s.parse.routerCks {
-		for lane, got := range laneSums {
-			if lane < len(s.expected) && stage < len(s.expected[lane]) &&
-				got != s.expected[lane][stage] {
+	for stage := 0; stage < stages; stage++ {
+		for lane := 0; lane < lanes; lane++ {
+			got := s.parse.routerCks[stage*lanes+lane]
+			if lane < len(p.expected) && stage < len(p.expected[lane]) &&
+				got != p.expected[lane][stage] {
 				p.res.SuspectStage = stage
 				break localize
 			}
 		}
 	}
 	nack := s.parse.destStatus&word.StatusNack != 0
-	e2eOK := s.parse.destCk == s.sentCRC
+	e2eOK := s.parse.destCk == p.sentCRC
 	replyOK := true
 	if s.parse.gotReplyCk {
 		var ck word.Checksum
@@ -508,13 +604,14 @@ localize:
 	p.res.Done = cycle
 	// Close the connection.
 	s.state = sDropping
+	s.dropped = p
 	if delivered {
 		p.res.Reply = UnpackBytes(s.parse.reply, s.e.cfg.logicalWidth())
-		s.afterDrop = func(c uint64) { s.e.finish(p, true, c) }
+		s.afterDrop = dropFinish
 	} else {
 		p.res.ChecksumFailures++
 		s.e.trace(cycle, TraceChecksumFail, p.msg.ID, 0, 0)
-		s.afterDrop = func(c uint64) { s.retryOrFailPending(p, c) }
+		s.afterDrop = dropRetry
 	}
 }
 

@@ -186,12 +186,12 @@ func FuzzParserFeed(f *testing.F) {
 			}
 			wasTerminal := p.done || p.closed || p.failed
 			p.feed(word.Word{Kind: kind, Payload: uint32(data[i+1])})
-			if wasTerminal && (len(p.routerCks) > statuses || !(p.done || p.closed || p.failed)) {
+			if wasTerminal && (p.stageCount() > statuses || !(p.done || p.closed || p.failed)) {
 				t.Fatal("terminal parser state mutated by further input")
 			}
 		}
-		if len(p.routerCks) > statuses {
-			t.Fatalf("parser reported %d router statuses from %d STATUS words", len(p.routerCks), statuses)
+		if p.stageCount() > statuses {
+			t.Fatalf("parser reported %d router statuses from %d STATUS words", p.stageCount(), statuses)
 		}
 	})
 }

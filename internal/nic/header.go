@@ -68,39 +68,49 @@ func (h HeaderSpec) Validate() error {
 // followed by hw-1 HEADER-PAD words, all of which that stage consumes.
 //
 //metrovet:alloc per-attempt header construction, not a per-cycle path
+func (h HeaderSpec) Build(digits []int) []word.Word {
+	return h.AppendBuild(nil, digits)
+}
+
+// AppendBuild is the allocation-free variant of Build: it appends the
+// header words to dst and returns it, so a sender reusing its stream
+// buffer constructs headers without touching the heap.
+//
+//metrovet:alloc appends into caller-owned scratch; steady state reuses capacity
 //metrovet:bounds len(digits) == len(Stages) is enforced by the panic guard, and s ranges over Stages
 //metrovet:truncate digits are per-stage direction numbers in [0, radix), far below 32 bits
 //metrovet:width bits accumulates DirBits groups and is flushed before exceeding Width <= 32 (Validate)
-func (h HeaderSpec) Build(digits []int) []word.Word {
+func (h HeaderSpec) AppendBuild(dst []word.Word, digits []int) []word.Word {
 	if len(digits) != len(h.Stages) {
 		panic(fmt.Sprintf("nic: %d digits for %d stages", len(digits), len(h.Stages)))
 	}
-	var out []word.Word
 	var cur uint32
 	bits := 0
-	flush := func() {
-		if bits > 0 {
-			out = append(out, word.MakeRoute(cur, bits))
-			cur, bits = 0, 0
-		}
-	}
 	for s, st := range h.Stages {
 		if st.HeaderWords >= 1 {
-			flush()
-			out = append(out, word.MakeRoute(uint32(digits[s]), st.DirBits))
+			if bits > 0 {
+				dst = append(dst, word.MakeRoute(cur, bits))
+				cur, bits = 0, 0
+			}
+			dst = append(dst, word.MakeRoute(uint32(digits[s]), st.DirBits))
 			for i := 1; i < st.HeaderWords; i++ {
-				out = append(out, word.Word{Kind: word.HeaderPad})
+				dst = append(dst, word.Word{Kind: word.HeaderPad})
 			}
 			continue
 		}
 		if bits+st.DirBits > h.Width {
-			flush()
+			if bits > 0 {
+				dst = append(dst, word.MakeRoute(cur, bits))
+				cur, bits = 0, 0
+			}
 		}
 		cur |= uint32(digits[s]) << uint(bits)
 		bits += st.DirBits
 	}
-	flush()
-	return out
+	if bits > 0 {
+		dst = append(dst, word.MakeRoute(cur, bits))
+	}
+	return dst
 }
 
 // StripStage transforms a word stream the way stage s consumes it: the
@@ -151,17 +161,65 @@ func (h HeaderSpec) StripStage(stream []word.Word, s int) []word.Word {
 //
 //metrovet:alloc per-attempt checksum precomputation, not a per-cycle path
 func (h HeaderSpec) ExpectedStageChecksums(sent []word.Word) []uint8 {
-	sums := make([]uint8, len(h.Stages))
-	stream := sent
+	sums, _ := h.AppendExpectedStageChecksums(nil, sent, nil)
+	return sums
+}
+
+// AppendExpectedStageChecksums is the allocation-free variant of
+// ExpectedStageChecksums: sums append to dst, and the working copy of the
+// stream lives in scratch (grown as needed and returned for reuse), with
+// each stage's strip performed in place.
+//
+//metrovet:alloc appends into caller-owned buffers; steady state reuses capacity
+func (h HeaderSpec) AppendExpectedStageChecksums(dst []uint8, sent []word.Word, scratch []word.Word) ([]uint8, []word.Word) {
+	scratch = append(scratch[:0], sent...)
+	stream := scratch
 	for s := range h.Stages {
 		var ck word.Checksum
 		for _, w := range stream {
 			ck.Add(w)
 		}
-		sums[s] = ck.Sum()
-		stream = h.StripStage(stream, s)
+		dst = append(dst, ck.Sum())
+		stream = h.stripStageInPlace(stream, s)
 	}
-	return sums
+	return dst, scratch
+}
+
+// stripStageInPlace rewrites stream as StripStage(stream, s) would, reusing
+// the backing array: the write cursor never passes the read cursor (a strip
+// only drops or narrows words), so the compaction is aliasing-safe.
+//
+//metrovet:alloc appends compact into stream[:0]; the write cursor never passes the read cursor, so the backing array never grows
+//metrovet:bounds s is the caller's index over Stages (AppendExpectedStageChecksums ranges over them)
+//metrovet:truncate DirBits >= 0 by Validate
+//metrovet:width DirBits <= Width <= 32 by Validate, and the shift only executes when w.Bits > DirBits, which forces DirBits < 32
+func (h HeaderSpec) stripStageInPlace(stream []word.Word, s int) []word.Word {
+	st := h.Stages[s]
+	out := stream[:0]
+	if st.HeaderWords >= 1 {
+		skip := st.HeaderWords
+		for _, w := range stream {
+			if skip > 0 {
+				skip--
+				continue
+			}
+			out = append(out, w)
+		}
+		return out
+	}
+	stripped := false
+	for _, w := range stream {
+		if !stripped && w.Kind == word.Route {
+			stripped = true
+			rem := int(w.Bits) - st.DirBits
+			if rem > 0 {
+				out = append(out, word.MakeRoute(w.Payload>>uint(st.DirBits), rem))
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
 }
 
 // PackBytes packs a byte payload into width-bit data words as an LSB-first
@@ -170,28 +228,38 @@ func (h HeaderSpec) ExpectedStageChecksums(sent []word.Word) []uint8 {
 // per word.
 //
 //metrovet:alloc per-message payload packing, not a per-cycle path
-//metrovet:truncate uint32(acc) deliberately extracts the low word; it feeds a Mask(width) bit slice
-//metrovet:width accBits stays in [0, width+7] with width <= 32 (panic guard): each 8-bit refill drains down below width
 func PackBytes(payload []byte, width int) []word.Word {
 	if width < 1 || width > 32 {
 		panic(fmt.Sprintf("nic: width %d outside [1,32]", width))
 	}
-	out := make([]word.Word, 0, (len(payload)*8+width-1)/width)
+	return AppendPackBytes(make([]word.Word, 0, (len(payload)*8+width-1)/width), payload, width)
+}
+
+// AppendPackBytes is the allocation-free variant of PackBytes: packed data
+// words append to dst, which is returned.
+//
+//metrovet:alloc appends into caller-owned scratch; steady state reuses capacity
+//metrovet:truncate uint32(acc) deliberately extracts the low word; it feeds a Mask(width) bit slice
+//metrovet:width accBits stays in [0, width+7] with width <= 32 (panic guard): each 8-bit refill drains down below width
+func AppendPackBytes(dst []word.Word, payload []byte, width int) []word.Word {
+	if width < 1 || width > 32 {
+		panic(fmt.Sprintf("nic: width %d outside [1,32]", width))
+	}
 	var acc uint64
 	accBits := 0
 	for _, b := range payload {
 		acc |= uint64(b) << uint(accBits)
 		accBits += 8
 		for accBits >= width {
-			out = append(out, word.MakeData(uint32(acc)&word.Mask(width), width))
+			dst = append(dst, word.MakeData(uint32(acc)&word.Mask(width), width))
 			acc >>= uint(width)
 			accBits -= width
 		}
 	}
 	if accBits > 0 {
-		out = append(out, word.MakeData(uint32(acc)&word.Mask(width), width))
+		dst = append(dst, word.MakeData(uint32(acc)&word.Mask(width), width))
 	}
-	return out
+	return dst
 }
 
 // UnpackBytes inverts PackBytes. Partial trailing bytes are discarded, but

@@ -18,9 +18,11 @@ type parser struct {
 	ckbuf  []word.Word
 	ckNeed int
 
-	// routerCks[stage][lane] is the CRC-8 each lane's routing component
-	// reported for that stage. On an uncascaded channel lanes == 1.
-	routerCks    [][]uint8
+	// routerCks[stage*lanes+lane] is the CRC-8 each lane's routing
+	// component reported for that stage — flat with stride lanes, so the
+	// buffer recycles across attempts without per-stage allocations. On
+	// an uncascaded channel lanes == 1.
+	routerCks    []uint8
 	curBlocked   bool
 	blockedStage int
 
@@ -49,15 +51,36 @@ const (
 )
 
 func newParser(width, logical, lanes, stages int) parser {
+	var p parser
+	p.reset(width, logical, lanes, stages)
+	return p
+}
+
+// reset rearms the parser for a new attempt while keeping the checksum,
+// router-report and reply buffers, so a sender's steady-state retry loop
+// never allocates.
+func (p *parser) reset(width, logical, lanes, stages int) {
 	if lanes < 1 {
 		lanes = 1
 	}
 	if logical <= 0 {
 		logical = width * lanes
 	}
-	return parser{width: width, logical: logical, lanes: lanes,
-		stages: stages, blockedStage: -1}
+	p.width, p.logical, p.lanes, p.stages = width, logical, lanes, stages
+	p.phase = pStatus
+	p.ckbuf = p.ckbuf[:0]
+	p.ckNeed = 0
+	p.routerCks = p.routerCks[:0]
+	p.curBlocked = false
+	p.blockedStage = -1
+	p.destStatus, p.destCk = 0, 0
+	p.reply = p.reply[:0]
+	p.replyCk, p.gotReplyCk = 0, false
+	p.done, p.closed, p.failed = false, false, false
 }
+
+// stageCount returns how many router status groups have been parsed.
+func (p *parser) stageCount() int { return len(p.routerCks) / p.lanes }
 
 // feed consumes one received word. Empty and DataIdle are transparent
 // everywhere (idle fill is inserted freely by routers).
@@ -107,10 +130,10 @@ func (p *parser) feed(w word.Word) {
 		case pRouterCk:
 			// Each lane's component reported its own CRC; the merged
 			// stream interleaves the chunks lane-wise within each word.
-			//metrovet:alloc grows to the stage count, once per status group
-			p.routerCks = append(p.routerCks, joinLaneChecksums(p.ckbuf, p.width, p.lanes))
+			//metrovet:alloc grows to stages*lanes once, then recycles across attempts
+			p.routerCks = appendLaneChecksums(p.routerCks, p.ckbuf, p.width, p.lanes)
 			if p.curBlocked {
-				p.blockedStage = len(p.routerCks) - 1
+				p.blockedStage = p.stageCount() - 1
 				p.phase = pAwaitDrop
 			} else {
 				p.phase = pStatus
@@ -169,23 +192,34 @@ func (p *parser) startCk(next pPhase) {
 	}
 }
 
-// joinLaneChecksums reconstructs each lane's CRC-8 from the merged
-// checksum words: word k of the group carries lane m's k-th chunk in bit
-// positions [m*width, (m+1)*width).
+// appendLaneChecksums reconstructs each lane's CRC-8 from the merged
+// checksum words and appends them to dst: word k of the group carries lane
+// m's k-th chunk in bit positions [m*width, (m+1)*width). The join mirrors
+// word.JoinChecksum over the virtual per-lane chunk stream, without
+// materializing it.
 //
-//metrovet:alloc per-stage checksum reconstruction, once per status group
+//metrovet:alloc appends into the recycled routerCks buffer; steady state reuses capacity
 //metrovet:width lane < lanes and width = cfg.Width, so lane*width < Width*Lanes <= 32 (validated by nic.New)
 //metrovet:truncate lane and width are nonnegative (loop index and validated channel width)
-//metrovet:bounds out has len lanes and lane is its loop index
-func joinLaneChecksums(merged []word.Word, width, lanes int) []uint8 {
-	out := make([]uint8, lanes)
-	for lane := 0; lane < lanes; lane++ {
-		chunks := make([]word.Word, len(merged))
-		for k, w := range merged {
-			chunks[k] = word.Word{Kind: word.ChecksumWord,
-				Payload: (w.Payload >> uint(lane*width)) & word.Mask(width)}
+func appendLaneChecksums(dst []uint8, merged []word.Word, width, lanes int) []uint8 {
+	if width < 1 {
+		// Matches JoinChecksum's clamp: a nonpositive width joins to zero.
+		for lane := 0; lane < lanes; lane++ {
+			dst = append(dst, 0)
 		}
-		out[lane] = word.JoinChecksum(chunks, width)
+		return dst
 	}
-	return out
+	for lane := 0; lane < lanes; lane++ {
+		var v uint32
+		shift := 0
+		for _, w := range merged {
+			v |= ((w.Payload >> uint(lane*width)) & word.Mask(width)) << uint(shift)
+			shift += width
+			if shift >= 8 {
+				break
+			}
+		}
+		dst = append(dst, uint8(v&0xff))
+	}
+	return dst
 }

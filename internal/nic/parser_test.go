@@ -32,7 +32,7 @@ func TestParserHappyPath(t *testing.T) {
 	if !p.done || p.failed || p.closed {
 		t.Fatalf("parser state: %+v", p)
 	}
-	if len(p.routerCks) != 2 || p.routerCks[0][0] != 0xAA || p.routerCks[1][0] != 0xBB {
+	if len(p.routerCks) != 2 || p.routerCks[0] != 0xAA || p.routerCks[1] != 0xBB {
 		t.Fatalf("router checksums = %#x", p.routerCks)
 	}
 	if p.destCk != 0xCC {
@@ -108,7 +108,7 @@ func TestParserSplitChecksumWidth4(t *testing.T) {
 	cks := word.SplitChecksum(0x5A, 4)
 	feedAll(&p, statusWord(0))
 	feedAll(&p, cks...)
-	if len(p.routerCks) != 1 || p.routerCks[0][0] != 0x5A {
+	if len(p.routerCks) != 1 || p.routerCks[0] != 0x5A {
 		t.Fatalf("router cks = %#x", p.routerCks)
 	}
 }

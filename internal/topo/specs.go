@@ -1,5 +1,45 @@
 package topo
 
+import "fmt"
+
+// Scale returns a Figure 3-family network scaled to the given endpoint
+// count: log_radix(endpoints) stages, all but the last built from
+// 2r-input radix-r dilation-2 routers and the final stage from r-input
+// radix-r dilation-1 routers, with two network connections per endpoint.
+// Scale(64, 4) reproduces Figure3's structure exactly; larger powers of
+// the radix extend the same construction (Scale(65536, 4) is the eight-
+// stage, 64Ki-endpoint instance the kernel scaling curve measures).
+//
+// endpoints must be a positive power of radix and radix a power of two
+// >= 2, mirroring Validate's per-stage constraints.
+func Scale(endpoints, radix int) (Spec, error) {
+	if radix < 2 || !isPow2(radix) {
+		return Spec{}, fmt.Errorf("topo: scale radix must be a power of two >= 2, got %d", radix)
+	}
+	stages := 0
+	for span := 1; span < endpoints; span *= radix {
+		stages++
+	}
+	prod := 1
+	for s := 0; s < stages; s++ {
+		prod *= radix
+	}
+	if stages == 0 || prod != endpoints {
+		return Spec{}, fmt.Errorf("topo: %d endpoints is not a positive power of radix %d", endpoints, radix)
+	}
+	spec := Spec{
+		Endpoints:     endpoints,
+		EndpointLinks: 2,
+		Wiring:        WiringInterleave,
+		Stages:        make([]StageSpec, stages),
+	}
+	for s := 0; s < stages-1; s++ {
+		spec.Stages[s] = StageSpec{Inputs: 2 * radix, Radix: radix, Dilation: 2}
+	}
+	spec.Stages[stages-1] = StageSpec{Inputs: radix, Radix: radix, Dilation: 1}
+	return spec, nil
+}
+
 // Figure1 returns the 16x16 multipath network of the paper's Figure 1:
 // two stages of 4x2 (inputs x radix) dilation-2 routers followed by a
 // stage of 4x4 dilation-1 routers, with two network connections per

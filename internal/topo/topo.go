@@ -270,15 +270,21 @@ func Validate(spec Spec) error {
 // endpoint dest: digit s is the direction a stage-s router must switch
 // toward. Stage 0 consumes the most significant digit.
 func (t *Topology) RouteDigits(dest int) []int {
-	digits := make([]int, len(t.Spec.Stages))
+	return t.AppendRouteDigits(make([]int, 0, len(t.Spec.Stages)), dest)
+}
+
+// AppendRouteDigits is the allocation-free variant of RouteDigits: the
+// per-stage directions append to dst, which is returned. Hot senders reuse
+// one digit buffer across attempts.
+func (t *Topology) AppendRouteDigits(dst []int, dest int) []int {
 	span := t.Spec.Endpoints
 	rem := dest
-	for s, st := range t.Spec.Stages {
+	for _, st := range t.Spec.Stages {
 		span /= st.Radix
-		digits[s] = rem / span
+		dst = append(dst, rem/span)
 		rem %= span
 	}
-	return digits
+	return dst
 }
 
 // DestOf inverts RouteDigits: the endpoint reached by following the digit
