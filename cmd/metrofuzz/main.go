@@ -74,7 +74,7 @@ func runOne(s metrofuzz.Scenario, shrink bool, shrinkRuns int, verbose bool, tra
 	}
 	rep := metrofuzz.Run(s, hooks)
 	if verbose {
-		fmt.Printf("scenario: %s\n", describe(rep))
+		fmt.Printf("scenario: %s\n", metrofuzz.Describe(rep))
 		fmt.Printf("spec:     %s\n", rep.Spec)
 	}
 	if hooks.Recorder != nil {
@@ -140,7 +140,7 @@ func runEnsemble(start int64, n int, shrink bool, shrinkRuns int, verbose bool, 
 			if rep.Failed() {
 				status = "FAIL " + rep.Failures[0].String()
 			}
-			fmt.Printf("seed %4d: %-40s %s\n", start+int64(i), describe(rep), status)
+			fmt.Printf("seed %4d: %-40s %s\n", start+int64(i), metrofuzz.Describe(rep), status)
 		}
 		if rep.Failed() {
 			failed = append(failed, rep)
@@ -171,7 +171,7 @@ func runEnsemble(start int64, n int, shrink bool, shrinkRuns int, verbose bool, 
 // shrinker re-arms the kernel oracle so kernel-divergence failures
 // still reproduce while shrinking.
 func reportFailure(rep *metrofuzz.Report, shrink bool, shrinkRuns int, kernel bool) {
-	fmt.Printf("FAIL: %s\n", describe(rep))
+	fmt.Printf("FAIL: %s\n", metrofuzz.Describe(rep))
 	fmt.Printf("  spec: %s\n", rep.Spec)
 	for _, f := range rep.Failures {
 		fmt.Printf("  %s\n", f)
@@ -179,7 +179,7 @@ func reportFailure(rep *metrofuzz.Report, shrink bool, shrinkRuns int, kernel bo
 	if shrink {
 		min, minRep := metrofuzz.Shrink(rep.Scenario, metrofuzz.Hooks{KernelOracle: kernel}, shrinkRuns)
 		_ = min
-		fmt.Printf("  shrunk: %s\n", describe(minRep))
+		fmt.Printf("  shrunk: %s\n", metrofuzz.Describe(minRep))
 		for _, f := range minRep.Failures {
 			fmt.Printf("    %s\n", f)
 		}
@@ -187,16 +187,4 @@ func reportFailure(rep *metrofuzz.Report, shrink bool, shrinkRuns int, kernel bo
 	} else {
 		fmt.Printf("  repro: %s\n", rep.Repro())
 	}
-}
-
-// describe renders a one-line human summary of a scenario run.
-func describe(rep *metrofuzz.Report) string {
-	s := rep.Scenario
-	topoName := s.Preset
-	if topoName == "" {
-		topoName = fmt.Sprintf("custom(%dep)", s.Custom.Endpoints)
-	}
-	return fmt.Sprintf("%s %v msgs=%d wk=%d faults=%d cas=%d: %d cycles, %d/%d delivered",
-		topoName, s.Traffic, s.Messages, s.Workers, len(s.Faults), s.CascadeWidth,
-		rep.Cycles, rep.Delivered, rep.Offered)
 }

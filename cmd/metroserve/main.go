@@ -1,0 +1,95 @@
+// metroserve is the METRO simulation service: a long-running daemon
+// that accepts mf1 scenario specs over HTTP, executes them on a bounded
+// worker fleet under the full metrofuzz oracle battery, streams
+// cycle-stamped progress and telemetry gauges as Server-Sent Events,
+// and memoizes results in a content-addressed cache so a repeated
+// submission is served from stored bytes without re-simulating.
+//
+// Usage:
+//
+//	metroserve [-addr host:port] [-workers n] [-queue n]
+//	           [-cache-bytes n] [-job-timeout d] [-drain-timeout d]
+//	           [-progress n] [-gauge-every n]
+//
+// The daemon prints one line, `metroserve listening on <addr>`, once
+// the socket is bound (with -addr :0 the line carries the kernel-chosen
+// port — the e2e harness relies on this), and exits 0 after a graceful
+// drain on SIGINT/SIGTERM. See docs/SERVING.md for the HTTP API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"metro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7905", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker fleet size")
+	queue := flag.Int("queue", 64, "admission queue depth; submissions beyond it get 429")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache LRU byte budget")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job execution deadline (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM before in-flight jobs are canceled")
+	progress := flag.Uint64("progress", 0, "cycle period of SSE progress frames (0 selects the metrofuzz default)")
+	gaugeEvery := flag.Uint64("gauge-every", 64, "forward only gauge samples on this cycle grid to SSE subscribers (0 forwards all)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "metroserve: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     *cacheBytes,
+		JobTimeout:     *jobTimeout,
+		ProgressPeriod: *progress,
+		GaugeEvery:     *gaugeEvery,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metroserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metroserve listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("metroserve: %v, draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "metroserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Drain first so new submissions see 503 while queued work finishes,
+	// then close the HTTP side. The drain budget doubles as the shutdown
+	// budget for straggling streams.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	sctx, scancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+	}
+	if drainErr != nil {
+		fmt.Printf("metroserve: drain deadline hit; in-flight jobs were canceled\n")
+	}
+	fmt.Printf("metroserve: drained\n")
+}

@@ -1,0 +1,257 @@
+package main_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"metro/internal/clitest"
+	"metro/internal/metrofuzz"
+)
+
+// result mirrors serve.Result's wire shape (decoded, not imported, so
+// this test exercises the JSON contract a real client sees).
+type result struct {
+	ID      string `json:"id"`
+	Spec    string `json:"spec"`
+	Status  string `json:"status"`
+	Cycles  uint64 `json:"cycles"`
+	Summary string `json:"summary"`
+}
+
+func postSpec(t *testing.T, base, spec, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs"+query, "text/plain", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestMetroserveEndToEnd is the tentpole's proof: a real metroserve
+// subprocess on an ephemeral port, driven over HTTP. It asserts the
+// cache miss/hit cycle with byte-identical bodies, SSE progress
+// streaming, a summary byte-identical to the metrofuzz CLI's replay of
+// the same spec, and a clean SIGTERM drain (the harness cleanup fails
+// the test if the daemon exits non-zero).
+func TestMetroserveEndToEnd(t *testing.T) {
+	srv := clitest.StartServer(t, "-workers", "2", "-progress", "64")
+	spec := metrofuzz.EncodeSpec(metrofuzz.Generate(1))
+
+	// First submission: a miss that runs the simulation.
+	miss, missBody := postSpec(t, srv.URL, spec, "?wait=1")
+	if miss.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d; body: %s", miss.StatusCode, missBody)
+	}
+	if got := miss.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first run X-Cache %q, want miss", got)
+	}
+	var res result
+	if err := json.Unmarshal(missBody, &res); err != nil {
+		t.Fatalf("result not JSON: %v; body: %s", err, missBody)
+	}
+	if res.Status != "passed" {
+		t.Fatalf("status %q, want passed; body: %s", res.Status, missBody)
+	}
+	if res.Spec != spec {
+		t.Fatalf("canonical spec drifted: %q vs %q", res.Spec, spec)
+	}
+
+	// Resubmission: byte-identical from the cache.
+	hit, hitBody := postSpec(t, srv.URL, spec, "?wait=1")
+	if got := hit.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("resubmission X-Cache %q, want hit", got)
+	}
+	if !bytes.Equal(missBody, hitBody) {
+		t.Fatalf("cache hit not byte-identical:\nmiss: %s\nhit:  %s", missBody, hitBody)
+	}
+
+	// The stored summary is byte-identical to the CLI replaying the same
+	// spec — the service and `metrofuzz -replay` are one implementation.
+	cli := clitest.Run(t, "metrofuzz", "-replay", spec, "-shrink=false")
+	if res.Summary != string(cli) {
+		t.Fatalf("server summary diverged from CLI replay:\nserver: %q\ncli:    %q", res.Summary, cli)
+	}
+
+	// The SSE stream replays progress and terminates with the result.
+	events, err := http.Get(srv.URL + "/v1/jobs/" + res.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+	progress, done := 0, false
+	sc := bufio.NewScanner(events.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	event := ""
+	for sc.Scan() {
+		if v, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			event = v
+		} else if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			switch event {
+			case "progress":
+				progress++
+			case "done":
+				done = true
+				if !bytes.Equal(append([]byte(data), '\n'), missBody) {
+					t.Fatalf("done event differs from served result:\n%s\n%s", data, missBody)
+				}
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if progress == 0 || !done {
+		t.Fatalf("event stream: %d progress frames, done=%v", progress, done)
+	}
+
+	// Stats confirm the hit was served without execution.
+	statsResp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBody, _ := io.ReadAll(statsResp.Body)
+	statsResp.Body.Close()
+	var stats struct {
+		Counters struct {
+			Executed    uint64 `json:"executed"`
+			CacheServed uint64 `json:"cacheServed"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(statsBody, &stats); err != nil {
+		t.Fatalf("stats: %v; body: %s", err, statsBody)
+	}
+	if stats.Counters.Executed != 1 || stats.Counters.CacheServed != 1 {
+		t.Fatalf("counters %+v, want executed=1 cacheServed=1", stats.Counters)
+	}
+}
+
+// TestMetroserveErrorStatuses pins the subprocess's error contract: the
+// strict decoder's rejections surface as 400s over the wire.
+func TestMetroserveErrorStatuses(t *testing.T) {
+	srv := clitest.StartServer(t, "-workers", "1")
+	for _, tc := range []struct {
+		name, spec string
+		status     int
+	}{
+		{"trailing garbage", "mf1;topo=fig1;w=8 junk", http.StatusBadRequest},
+		{"unknown version", "mf2;topo=fig1", http.StatusBadRequest},
+		{"empty", "", http.StatusBadRequest},
+	} {
+		resp, body := postSpec(t, srv.URL, tc.spec, "")
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d; body: %s", tc.name, resp.StatusCode, tc.status, body)
+		}
+	}
+}
+
+// TestMetroserveSoak hammers a metroserve subprocess with concurrent
+// submissions for 60 seconds and then proves zero dropped-but-acked
+// jobs: every submission the server acknowledged (200 or 202) must be
+// resolvable to a terminal result afterwards. Rejections (429) are
+// legal under load; silent loss is not. Gated behind METROSERVE_SOAK=1
+// so `go test ./...` stays fast; CI's soak job sets it.
+func TestMetroserveSoak(t *testing.T) {
+	if os.Getenv("METROSERVE_SOAK") != "1" {
+		t.Skip("set METROSERVE_SOAK=1 to run the 60s soak")
+	}
+	srv := clitest.StartServer(t, "-workers", "4", "-queue", "32", "-job-timeout", "30s")
+
+	const clients = 8
+	deadline := time.Now().Add(60 * time.Second)
+	var (
+		mu       sync.Mutex
+		acked    = map[string]bool{}
+		accepted atomic.Uint64
+		rejected atomic.Uint64
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			client := &http.Client{Timeout: 90 * time.Second}
+			for time.Now().Before(deadline) {
+				// A small seed pool makes cache hits and coalescing
+				// common; occasional fresh seeds keep the workers busy.
+				seed := int64(rng.Intn(6))
+				if rng.Intn(4) == 0 {
+					seed = rng.Int63n(1 << 20)
+				}
+				spec := metrofuzz.EncodeSpec(metrofuzz.Generate(seed))
+				resp, err := client.Post(srv.URL+"/v1/jobs", "text/plain", strings.NewReader(spec))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				id := resp.Header.Get("X-Job")
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusAccepted:
+					accepted.Add(1)
+					mu.Lock()
+					acked[id] = true
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					t.Errorf("client %d: unexpected status %d", c, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	t.Logf("soak: %d acked, %d rejected, %d distinct jobs", accepted.Load(), rejected.Load(), len(acked))
+	if accepted.Load() == 0 {
+		t.Fatal("soak made no accepted submissions")
+	}
+
+	// Every acked job must resolve: poll until terminal or timeout.
+	settle := time.Now().Add(2 * time.Minute)
+	for id := range acked {
+		for {
+			resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatalf("polling %s: %v", id, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNotFound {
+				t.Fatalf("acked job %s was dropped (404): %s", id, body)
+			}
+			var st struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatalf("job %s: bad body %q: %v", id, body, err)
+			}
+			if st.Status == "passed" || st.Status == "failed" || st.Status == "deadline" {
+				break
+			}
+			if time.Now().After(settle) {
+				t.Fatalf("acked job %s never settled (still %q)", id, st.Status)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package metrofuzz
+
+import "fmt"
+
+// Describe renders the one-line human summary of a scenario run — the
+// "scenario:" line of metrofuzz's verbose output. It lives in the
+// library (rather than cmd/metrofuzz) so that metroserve's stored
+// result summaries are byte-identical to a direct `metrofuzz -replay`
+// of the same spec: the e2e harness asserts that equality, which makes
+// any drift between the service and the CLI a test failure.
+func Describe(rep *Report) string {
+	s := rep.Scenario
+	topoName := s.Preset
+	if topoName == "" {
+		topoName = fmt.Sprintf("custom(%dep)", s.Custom.Endpoints)
+	}
+	return fmt.Sprintf("%s %v msgs=%d wk=%d faults=%d cas=%d: %d cycles, %d/%d delivered",
+		topoName, s.Traffic, s.Messages, s.Workers, len(s.Faults), s.CascadeWidth,
+		rep.Cycles, rep.Delivered, rep.Offered)
+}
+
+// Summary renders the full replay report for a completed run: the
+// verbose scenario/spec header plus the verdict block, formatted
+// exactly as `metrofuzz -replay -shrink=false '<spec>'` prints it.
+// metroserve stores this as the job's summary; the e2e harness diffs it
+// byte-for-byte against the CLI.
+func (r *Report) Summary() string {
+	out := fmt.Sprintf("scenario: %s\nspec:     %s\n", Describe(r), r.Spec)
+	if !r.Failed() {
+		return out + fmt.Sprintf("ok: all oracles passed (%d messages, %d cycles)\n", r.Offered, r.Cycles)
+	}
+	out += fmt.Sprintf("FAIL: %s\n", Describe(r))
+	out += fmt.Sprintf("  spec: %s\n", r.Spec)
+	for _, f := range r.Failures {
+		out += fmt.Sprintf("  %s\n", f)
+	}
+	out += fmt.Sprintf("  repro: %s\n", r.Repro())
+	return out
+}

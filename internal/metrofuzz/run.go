@@ -2,6 +2,7 @@ package metrofuzz
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -39,6 +40,21 @@ type Hooks struct {
 	// telemetry. A Recorder wires into at most one network build, so
 	// Hooks carrying one must be used for exactly one Run.
 	Recorder *telemetry.Recorder
+	// Progress, when set, observes the run between engine steps: every
+	// ProgressPeriod cycles (and once when a leg finishes) it receives
+	// the current cycle and the running offer/completion/delivery
+	// counts of the serial reference leg. Returning false cancels the
+	// run — runLeg stops stepping, Run records a single "canceled"
+	// failure and sets Report.Canceled. The hook runs on the driving
+	// goroutine, never inside Eval, so it may block or do I/O
+	// (metroserve streams it over SSE and wires cancellation to a
+	// context deadline). Differential legs replay the reference leg's
+	// fixed cycle span; they invoke the hook for cancellation polling
+	// only, with reporting counts from the leg under audit.
+	Progress func(cycle uint64, offered, completed, delivered int) bool
+	// ProgressPeriod is the cycle period of Progress callbacks; 0
+	// selects DefaultProgressPeriod.
+	ProgressPeriod uint64
 	// KernelOracle enables the kernel-vs-reference differential leg:
 	// the scenario re-runs on the compiled flat kernel
 	// (netsim.Params.Kernel) for exactly the reference leg's cycle
@@ -48,6 +64,15 @@ type Hooks struct {
 	// kernel leg like any other, so self-test defects stay symmetric.
 	KernelOracle bool
 }
+
+// DefaultProgressPeriod is the Progress callback period when
+// Hooks.ProgressPeriod is 0: frequent enough for live streaming and
+// sub-millisecond cancellation, rare enough to stay off the profile.
+const DefaultProgressPeriod = 256
+
+// ErrCanceled is returned (wrapped) by a leg whose Progress hook asked
+// to stop; Run converts it into a Canceled report.
+var ErrCanceled = errors.New("metrofuzz: run canceled by Progress hook")
 
 // Failure is one oracle violation.
 type Failure struct {
@@ -68,6 +93,10 @@ type Report struct {
 	Duplicates  int // intact deliveries beyond the first, per message
 	FaultsFired int
 	Failures    []Failure
+	// Canceled marks a run stopped early by the Progress hook (deadline
+	// or client cancellation) rather than by an oracle verdict; the
+	// single "canceled" failure is bookkeeping, not a simulator bug.
+	Canceled bool
 }
 
 // Failed reports whether any oracle fired.
@@ -93,7 +122,12 @@ func Run(s Scenario, h Hooks) *Report {
 	}
 	serial, err := runLeg(s, h, legConfig{checkInv: true})
 	if err != nil {
-		r.fail("build", "%v", err)
+		if errors.Is(err, ErrCanceled) {
+			r.Canceled = true
+			r.fail("canceled", "%v", err)
+		} else {
+			r.fail("build", "%v", err)
+		}
 		return r
 	}
 	r.Cycles = serial.cycles
@@ -112,7 +146,12 @@ func Run(s Scenario, h Hooks) *Report {
 	if s.Workers > 0 {
 		par, err := runLeg(s, h, legConfig{workers: s.Workers, fixedCycles: serial.cycles})
 		if err != nil {
-			r.fail("build", "parallel leg: %v", err)
+			if errors.Is(err, ErrCanceled) {
+				r.Canceled = true
+				r.fail("canceled", "parallel leg: %v", err)
+			} else {
+				r.fail("build", "parallel leg: %v", err)
+			}
 			return r
 		}
 		r.diffLegs("differential", "parallel", serial, par)
@@ -120,7 +159,12 @@ func Run(s Scenario, h Hooks) *Report {
 	if h.KernelOracle {
 		ker, err := runLeg(s, h, legConfig{kernel: true, fixedCycles: serial.cycles})
 		if err != nil {
-			r.fail("build", "kernel leg: %v", err)
+			if errors.Is(err, ErrCanceled) {
+				r.Canceled = true
+				r.fail("canceled", "kernel leg: %v", err)
+			} else {
+				r.fail("build", "kernel leg: %v", err)
+			}
 			return r
 		}
 		r.diffLegs("kernel", "kernel", serial, ker)
@@ -225,8 +269,39 @@ func runLeg(s Scenario, h Hooks, lc legConfig) (*legOut, error) {
 	inj.bind(n)
 	finj := fault.NewInjector(n, s.Faults)
 
+	period := h.ProgressPeriod
+	if period == 0 {
+		period = DefaultProgressPeriod
+	}
+	// observe reports the leg's running counts to the Progress hook and
+	// returns false when the hook asks to cancel. Reporting is
+	// per-leg: the reference leg's stream is what metroserve shows
+	// live; differential legs call it mainly for cancellation polling.
+	observe := func(cycle uint64) bool {
+		if h.Progress == nil {
+			return true
+		}
+		delivered := 0
+		for _, res := range leg.results {
+			if res.Delivered {
+				delivered++
+			}
+		}
+		return h.Progress(cycle, len(leg.offers), len(leg.results), delivered)
+	}
+
 	if lc.fixedCycles > 0 {
-		n.Run(lc.fixedCycles)
+		if h.Progress == nil {
+			n.Run(lc.fixedCycles)
+		} else {
+			for n.Engine.Cycle() < lc.fixedCycles {
+				if n.Engine.Cycle()%period == 0 && !observe(n.Engine.Cycle()) {
+					return nil, fmt.Errorf("cycle %d: %w", n.Engine.Cycle(), ErrCanceled)
+				}
+				n.Engine.Step()
+			}
+			observe(n.Engine.Cycle())
+		}
 		leg.cycles = n.Engine.Cycle()
 		leg.fired = finj.Fired()
 		return leg, nil
@@ -248,6 +323,9 @@ func runLeg(s Scenario, h Hooks, lc legConfig) (*legOut, error) {
 	lastCount := 0
 	for {
 		cycle := n.Engine.Cycle()
+		if cycle%period == 0 && !observe(cycle) {
+			return nil, fmt.Errorf("cycle %d: %w", cycle, ErrCanceled)
+		}
 		if inj.done(cycle) && quiet(n) {
 			leg.quiet = true
 			break
@@ -274,6 +352,7 @@ func runLeg(s Scenario, h Hooks, lc legConfig) (*legOut, error) {
 			}
 		}
 	}
+	observe(n.Engine.Cycle())
 	leg.cycles = n.Engine.Cycle()
 	leg.fired = finj.Fired()
 	return leg, nil

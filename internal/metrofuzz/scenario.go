@@ -291,7 +291,9 @@ func EncodeSpec(s Scenario) string {
 }
 
 // DecodeSpec parses a one-line spec back into a Scenario and validates
-// it.
+// it. Surrounding whitespace is trimmed — this is the CLI `-replay`
+// entry point, where the shell or a copy-paste may add a trailing
+// newline. Machine submitters (metroserve) use DecodeSpecStrict.
 func DecodeSpec(spec string) (Scenario, error) {
 	var s Scenario
 	parts := strings.Split(strings.TrimSpace(spec), ";")
@@ -311,6 +313,24 @@ func DecodeSpec(spec string) (Scenario, error) {
 		return s, err
 	}
 	return s, nil
+}
+
+// DecodeSpecStrict is the library entry point for machine-submitted
+// specs: it accepts exactly one spec line and nothing else. Where
+// DecodeSpec trims surrounding whitespace (the CLI-buffered `-replay`
+// path), strict mode refuses any whitespace or control byte anywhere —
+// the mf1 grammar contains none, so their presence means trailing
+// garbage after (or wrapped around) a valid line, and a service must
+// reject it rather than silently simulate a prefix of what the client
+// sent.
+func DecodeSpecStrict(spec string) (Scenario, error) {
+	if spec == "" {
+		return Scenario{}, fmt.Errorf("metrofuzz: empty spec")
+	}
+	if i := strings.IndexFunc(spec, func(r rune) bool { return r <= ' ' || r == 0x7f }); i >= 0 {
+		return Scenario{}, fmt.Errorf("metrofuzz: spec contains whitespace or control byte at offset %d; the mf1 grammar has none (trailing garbage?)", i)
+	}
+	return DecodeSpec(spec)
 }
 
 func decodeField(s *Scenario, k, v string) error {
@@ -402,6 +422,7 @@ func encodeTopo(spec topo.Spec) string {
 
 func decodeTopo(v string) (topo.Spec, error) {
 	var spec topo.Spec
+	var err error
 	head, stages, ok := strings.Cut(v, ":")
 	if !ok {
 		return spec, fmt.Errorf("metrofuzz: malformed topology %q", v)
@@ -415,13 +436,31 @@ func decodeTopo(v string) (topo.Spec, error) {
 		spec.Seed = seed
 		stages = stages[:at]
 	}
-	if _, err := fmt.Sscanf(head, "%dx%d", &spec.Endpoints, &spec.EndpointLinks); err != nil {
+	// Parse with strconv, not Sscanf: %d stops at the first non-digit
+	// and Sscanf reports success with input left over, so "16x2junk"
+	// used to decode as 16x2 and silently drop the garbage — and a spec
+	// that decodes must mean exactly what its bytes say (it is the
+	// replay and cache-key currency).
+	ep, links, ok := strings.Cut(head, "x")
+	if !ok {
+		return spec, fmt.Errorf("metrofuzz: malformed topology head %q", head)
+	}
+	if spec.Endpoints, err = strconv.Atoi(ep); err != nil {
+		return spec, fmt.Errorf("metrofuzz: malformed topology head %q", head)
+	}
+	if spec.EndpointLinks, err = strconv.Atoi(links); err != nil {
 		return spec, fmt.Errorf("metrofuzz: malformed topology head %q", head)
 	}
 	for _, st := range strings.Split(stages, ",") {
-		var ss topo.StageSpec
-		if _, err := fmt.Sscanf(st, "%d.%d.%d", &ss.Radix, &ss.Dilation, &ss.Inputs); err != nil {
+		fields := strings.Split(st, ".")
+		if len(fields) != 3 {
 			return spec, fmt.Errorf("metrofuzz: malformed stage %q", st)
+		}
+		var ss topo.StageSpec
+		for i, dst := range []*int{&ss.Radix, &ss.Dilation, &ss.Inputs} {
+			if *dst, err = strconv.Atoi(fields[i]); err != nil {
+				return spec, fmt.Errorf("metrofuzz: malformed stage %q", st)
+			}
 		}
 		spec.Stages = append(spec.Stages, ss)
 	}

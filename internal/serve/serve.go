@@ -1,0 +1,492 @@
+// Package serve is the metroserve daemon's engine room: a multi-tenant
+// simulation service that accepts scenario specs in the versioned mf1
+// codec (the same wire format `metrofuzz -replay` consumes), executes
+// them on a bounded worker fleet under the full oracle battery, streams
+// cycle-stamped progress and telemetry gauges over Server-Sent Events,
+// and memoizes results in a content-addressed cache.
+//
+// The cache is sound because the engine is deterministic: metrovet
+// enforces (and metrofuzz's differentials prove) that a run is a pure
+// function of its spec, so equal canonical specs — under the same
+// execution options and engine revision — have equal results, and a
+// repeat submission can be served from stored bytes without
+// simulating. Degradation is explicit rather than accidental: a full
+// queue answers 429, a per-job deadline cancels cooperatively through
+// the metrofuzz Progress hook and reports 504, and a draining server
+// refuses new work with 503 while finishing what it accepted.
+//
+// See docs/SERVING.md for the HTTP API and the soundness argument in
+// full.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"metro/internal/metrofuzz"
+	"metro/internal/telemetry"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the simulation worker fleet size; 0 starts no workers
+	// (useful in tests that need jobs to stay queued).
+	Workers int
+	// QueueDepth bounds the admission queue; a submission beyond it is
+	// refused with 429. Defaults to 64 when 0.
+	QueueDepth int
+	// CacheBytes is the result cache's LRU byte budget. Defaults to
+	// 64 MiB when 0.
+	CacheBytes int64
+	// JobTimeout is the per-job execution deadline; 0 means no deadline.
+	JobTimeout time.Duration
+	// ProgressPeriod is the cycle period of progress frames (and
+	// cancellation polls); 0 selects metrofuzz.DefaultProgressPeriod.
+	ProgressPeriod uint64
+	// TraceCapacity bounds each job's flight-recorder ring in events;
+	// defaults to 1<<14 (≈400 KiB per running job).
+	TraceCapacity int
+	// GaugeEvery forwards only gauge samples whose cycle is a multiple
+	// of this period to SSE subscribers; 0 forwards every sample.
+	GaugeEvery uint64
+	// Retention bounds completed-job records kept for polling beyond
+	// the result cache (deadline results are never cached, so their
+	// records are the only place to poll them). Defaults to 4096.
+	Retention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 1 << 14
+	}
+	if c.Retention == 0 {
+		c.Retention = 4096
+	}
+	return c
+}
+
+// Counters is the queue/worker side of /v1/stats.
+type Counters struct {
+	Submitted        uint64 `json:"submitted"`        // accepted submissions, including coalesced and cache hits
+	CacheServed      uint64 `json:"cacheServed"`      // submissions answered from the cache
+	Coalesced        uint64 `json:"coalesced"`        // submissions attached to an in-flight duplicate
+	Enqueued         uint64 `json:"enqueued"`         // jobs admitted to the queue
+	Executed         uint64 `json:"executed"`         // jobs a worker actually simulated
+	Deadline         uint64 `json:"deadline"`         // jobs canceled by deadline or drain
+	RejectedFull     uint64 `json:"rejectedFull"`     // 429s
+	RejectedDraining uint64 `json:"rejectedDraining"` // 503s
+}
+
+// Server is the HTTP front end plus the worker fleet. Create with New,
+// mount as an http.Handler, and call Drain to shut down gracefully.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	mux   *http.ServeMux
+
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	retained  []string // completed job IDs, oldest first
+	queue     chan *job
+	draining  bool
+	counters  Counters
+	queuedNow int
+}
+
+// New builds a server and starts its worker fleet.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheBytes),
+		runCtx:    ctx,
+		cancelRun: cancel,
+		jobs:      make(map[string]*job),
+		queue:     make(chan *job, cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain shuts the server down gracefully: new submissions are refused
+// with 503, queued and running jobs are given until ctx expires to
+// finish, then the remaining runs are canceled cooperatively (their
+// submitters see status "deadline"). Drain returns once every worker
+// has exited. It is idempotent; only the first call closes the queue.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		s.cancelRun()
+		return nil
+	case <-ctx.Done():
+		s.cancelRun() // cancel in-flight jobs at their next progress poll
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		s.queuedNow--
+		j.mu.Lock()
+		j.state = StatusRunning
+		j.mu.Unlock()
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job under the oracle battery and publishes its
+// result.
+func (s *Server) runJob(j *job) {
+	ctx := s.runCtx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	rec := telemetry.New(telemetry.Options{Capacity: s.cfg.TraceCapacity})
+	rec.SetSink(j.gaugeSink(s.cfg.GaugeEvery))
+	hooks := metrofuzz.Hooks{
+		Recorder:       rec,
+		KernelOracle:   j.engine == EngineKernel,
+		ProgressPeriod: s.cfg.ProgressPeriod,
+		Progress: func(cycle uint64, offered, completed, delivered int) bool {
+			j.publishProgress(cycle, offered, completed, delivered)
+			return ctx.Err() == nil
+		},
+	}
+	rep := metrofuzz.Run(j.scn, hooks)
+
+	res := buildResult(j, rep, rec)
+	body := marshalResult(res)
+	if res.Status != StatusDeadline {
+		// Deadline outcomes are a property of this server's load, not
+		// of the spec — caching one would serve a timing accident as if
+		// it were the deterministic result.
+		s.cache.Put(j.id, body)
+	}
+	j.complete(res, body)
+
+	s.mu.Lock()
+	s.counters.Executed++
+	if res.Status == StatusDeadline {
+		s.counters.Deadline++
+	}
+	s.retain(j.id)
+	s.mu.Unlock()
+}
+
+// retain records a completed job for polling and expires the oldest
+// records beyond the retention bound. Callers hold s.mu.
+func (s *Server) retain(id string) {
+	s.retained = append(s.retained, id)
+	for len(s.retained) > s.cfg.Retention {
+		old := s.retained[0]
+		s.retained = s.retained[1:]
+		delete(s.jobs, old)
+	}
+}
+
+// --- handlers ----------------------------------------------------------
+
+// maxSpecBytes bounds a submission body: the longest legal mf1 line
+// (custom topology plus a full fault plan) is far below this.
+const maxSpecBytes = 1 << 16
+
+// errorPayload is the JSON error body.
+type errorPayload struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(errorPayload{Error: fmt.Sprintf(format, args...)})
+	w.Write(append(data, '\n'))
+}
+
+// writeResult serves a completed result body: 200 for settled runs,
+// 504 for deadline outcomes (the job consumed its budget without
+// finishing — the serving-path analogue of a gateway timeout).
+func writeResult(w http.ResponseWriter, status string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == StatusDeadline {
+		w.WriteHeader(http.StatusGatewayTimeout)
+	}
+	w.Write(body)
+}
+
+// handleSubmit admits one spec: cache hit → stored bytes; duplicate of
+// an in-flight job → coalesce; otherwise validate, enqueue (429 when
+// full, 503 when draining) and either return 202 with the job ID or,
+// with ?wait=1, block until the result (504 on request-context
+// deadline).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(raw) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	engine := EngineReference
+	switch v := r.URL.Query().Get("engine"); v {
+	case "", string(EngineReference):
+	case string(EngineKernel):
+		engine = EngineKernel
+	default:
+		writeError(w, http.StatusBadRequest, "unknown engine %q (want %q or %q)", v, EngineReference, EngineKernel)
+		return
+	}
+	trace := r.URL.Query().Get("trace") == "1"
+
+	// Strict decode: the body must be exactly one mf1 line. The error
+	// text distinguishes the unknown-version case (it names the
+	// expected magic) from malformed fields and trailing garbage.
+	scn, err := metrofuzz.DecodeSpecStrict(strings.TrimSuffix(string(raw), "\n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec := metrofuzz.EncodeSpec(scn) // canonical form
+	id := Key(spec, engine, trace)
+	w.Header().Set("X-Job", id)
+
+	s.mu.Lock()
+	s.counters.Submitted++
+	s.mu.Unlock()
+
+	if body, ok := s.cache.Get(id); ok {
+		s.mu.Lock()
+		s.counters.CacheServed++
+		s.mu.Unlock()
+		w.Header().Set("X-Cache", "hit")
+		var res Result
+		status := StatusPassed
+		if json.Unmarshal(body, &res) == nil {
+			status = res.Status
+		}
+		writeResult(w, status, body)
+		return
+	}
+	w.Header().Set("X-Cache", "miss")
+
+	s.mu.Lock()
+	j, exists := s.jobs[id]
+	if exists {
+		j.mu.Lock()
+		j.coalesced++
+		j.mu.Unlock()
+		s.counters.Coalesced++
+		s.mu.Unlock()
+		w.Header().Set("X-Coalesced", "true")
+	} else {
+		if s.draining {
+			s.counters.RejectedDraining++
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit elsewhere")
+			return
+		}
+		j = newJob(id, spec, scn, engine, trace)
+		select {
+		case s.queue <- j:
+			s.jobs[id] = j
+			s.queuedNow++
+			s.counters.Enqueued++
+			s.mu.Unlock()
+		default:
+			s.counters.RejectedFull++
+			s.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "queue full (%d jobs deep); retry later", s.cfg.QueueDepth)
+			return
+		}
+	}
+
+	if r.URL.Query().Get("wait") != "1" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		data, _ := json.Marshal(struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		}{ID: id, Status: j.status()})
+		w.Write(append(data, '\n'))
+		return
+	}
+
+	select {
+	case <-j.done:
+		res, body, _ := j.snapshot()
+		writeResult(w, res.Status, body)
+	case <-r.Context().Done():
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded waiting for job %s (still %s)", id, j.status())
+	}
+}
+
+// handleJob reports a job's status or completed result.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if ok {
+		if res, body, done := j.snapshot(); done {
+			w.Header().Set("X-Cache", "hit")
+			writeResult(w, res.Status, body)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, _ := json.Marshal(struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		}{ID: id, Status: j.status()})
+		w.Write(append(data, '\n'))
+		return
+	}
+	if body, ok := s.cache.Get(id); ok {
+		w.Header().Set("X-Cache", "hit")
+		var res Result
+		status := StatusPassed
+		if json.Unmarshal(body, &res) == nil {
+			status = res.Status
+		}
+		writeResult(w, status, body)
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job %s", id)
+}
+
+// handleEvents streams a job's progress/gauge/done frames as SSE.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s (completed jobs past retention have no event stream)", id)
+		return
+	}
+	serveEvents(w, r, j)
+}
+
+// handleTrace serves a job's recorded mtr1 telemetry stream.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var res *Result
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if ok {
+		if got, _, done := j.snapshot(); done {
+			res = got
+		} else {
+			writeError(w, http.StatusConflict, "job %s is still %s", id, j.status())
+			return
+		}
+	} else if body, ok := s.cache.Get(id); ok {
+		var parsed Result
+		if err := json.Unmarshal(body, &parsed); err != nil {
+			writeError(w, http.StatusInternalServerError, "corrupt cached result for %s", id)
+			return
+		}
+		res = &parsed
+	} else {
+		writeError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	if res.Trace == "" {
+		writeError(w, http.StatusNotFound, "job %s recorded no trace; submit with ?trace=1", id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, res.Trace)
+}
+
+// statsPayload is the /v1/stats body.
+type statsPayload struct {
+	Workers    int        `json:"workers"`
+	QueueDepth int        `json:"queueDepth"`
+	Queued     int        `json:"queued"`
+	Draining   bool       `json:"draining"`
+	Counters   Counters   `json:"counters"`
+	Cache      CacheStats `json:"cache"`
+}
+
+// handleStats reports the serving counters — the cache-hit counter here
+// is the timing-independent witness that repeat submissions skip
+// simulation.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	p := statsPayload{
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Queued:     s.queuedNow,
+		Draining:   s.draining,
+		Counters:   s.counters,
+	}
+	s.mu.Unlock()
+	p.Cache = s.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	data, _ := json.Marshal(p)
+	w.Write(append(data, '\n'))
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"ok\":true,\"draining\":%v}\n", draining)
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"metro/internal/telemetry"
+)
+
+// streamEvent is one SSE frame: an event name and a single-line JSON
+// payload.
+type streamEvent struct {
+	name string
+	data []byte
+}
+
+// hub fans a job's event stream out to any number of SSE subscribers.
+//
+// Progress events are kept in a bounded history that is replayed to
+// late subscribers, so "submit, then open the event stream" always
+// observes the run even if the job finished in between — the replay is
+// part of the API, not a race. Gauge events are live-only (they are
+// high-rate samples, not a lifecycle), and the terminal "done" event is
+// both appended to history and closes the stream.
+//
+// Subscriber channels are bounded; a subscriber that cannot keep up has
+// events dropped rather than stalling the worker — the simulation's
+// epilogue goroutine must never block on a slow client.
+type hub struct {
+	mu      sync.Mutex
+	subs    map[chan streamEvent]struct{}
+	history []streamEvent
+	closed  bool
+	dropped uint64
+}
+
+// historyBound caps replayed events per job: at the default progress
+// period even the hard-capped 5M-cycle run emits ~20k progress frames,
+// so the bound keeps memory flat while preserving the stream's shape.
+const historyBound = 1024
+
+// subBuffer is each subscriber's channel depth.
+const subBuffer = 256
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan streamEvent]struct{})}
+}
+
+// publish sends ev to every subscriber; keep additionally records it in
+// the replay history (drop-oldest beyond historyBound).
+func (h *hub) publish(ev streamEvent, keep bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if keep {
+		if len(h.history) >= historyBound {
+			copy(h.history, h.history[1:])
+			h.history = h.history[:len(h.history)-1]
+		}
+		h.history = append(h.history, ev)
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// close marks the stream complete; subscribers' channels are closed
+// after the history (which now ends in "done") has been delivered.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+}
+
+// subscribe returns the replay history and a live channel (nil if the
+// stream already closed — the history then ends with the terminal
+// event). cancel must be called when the subscriber leaves.
+func (h *hub) subscribe() (replay []streamEvent, ch chan streamEvent, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = append([]streamEvent(nil), h.history...)
+	if h.closed {
+		return replay, nil, func() {}
+	}
+	ch = make(chan streamEvent, subBuffer)
+	h.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// progressPayload is the SSE "progress" frame body.
+type progressPayload struct {
+	Cycle     uint64 `json:"cycle"`
+	Offered   int    `json:"offered"`
+	Completed int    `json:"completed"`
+	Delivered int    `json:"delivered"`
+}
+
+// publishProgress emits one cycle-stamped progress frame (replayable).
+func (j *job) publishProgress(cycle uint64, offered, completed, delivered int) {
+	data, _ := json.Marshal(progressPayload{Cycle: cycle, Offered: offered, Completed: completed, Delivered: delivered})
+	j.hub.publish(streamEvent{name: "progress", data: data}, true)
+}
+
+// gaugePayload is the SSE "gauge" frame body: one telemetry gauge
+// sample off the metrotrace bus.
+type gaugePayload struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  string `json:"kind"`
+	Stage int    `json:"stage"` // -1 for whole-network gauges
+	Value int32  `json:"value"`
+}
+
+// gaugeSink adapts the telemetry recorder's streaming sink to the job's
+// SSE hub: gauge events whose cycle lands on the every-cycle grid are
+// forwarded live. It runs on the engine's flushing goroutine, so it
+// must not block — hub.publish drops on slow subscribers by design.
+func (j *job) gaugeSink(every uint64) func([]telemetry.Event) {
+	if every == 0 {
+		every = 1
+	}
+	return func(events []telemetry.Event) {
+		for _, e := range events {
+			if e.Kind.Family() != "gauge" || e.Cycle%every != 0 {
+				continue
+			}
+			data, _ := json.Marshal(gaugePayload{
+				Cycle: e.Cycle,
+				Kind:  e.Kind.String(),
+				Stage: int(e.Src.Stage),
+				Value: e.A,
+			})
+			j.hub.publish(streamEvent{name: "gauge", data: data}, false)
+		}
+	}
+}
+
+// serveEvents streams a job's frames as Server-Sent Events until the
+// terminal event or client disconnect.
+func serveEvents(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "serve: response writer does not support streaming", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	// Flush the headers now: a subscriber to a still-queued job must see
+	// the stream open immediately, not after the first frame.
+	fl.Flush()
+
+	write := func(ev streamEvent) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return ev.name != "done"
+	}
+
+	replay, live, cancel := j.hub.subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		if !write(ev) {
+			return
+		}
+	}
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-live:
+			if !ok {
+				// Stream closed between our replay and now: the job's
+				// history ends with the terminal event — deliver it if
+				// the replay predated it.
+				res, _, done := j.snapshot()
+				if done {
+					data := marshalResult(res)
+					write(streamEvent{name: "done", data: data[:len(data)-1]})
+				}
+				return
+			}
+			if !write(ev) {
+				return
+			}
+		}
+	}
+}

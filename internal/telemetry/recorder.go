@@ -51,6 +51,7 @@ type Recorder struct {
 	count int    // live events in the ring
 	total uint64 // events ever recorded, including overwritten ones
 	bufs  []*Buf
+	sink  func([]Event)
 }
 
 // New constructs a Recorder with a preallocated ring.
@@ -74,12 +75,30 @@ func (r *Recorder) NewBuf() *Buf {
 	return b
 }
 
+// SetSink registers fn as the streaming sink: every Flush hands it each
+// drained buffer's events (in the same deterministic registration-order
+// merge the ring sees) before the buffer is reset. The slice is only
+// valid for the duration of the call — the buffer backing it is reused
+// next cycle — so a sink that retains events must copy them. The sink
+// runs on the flushing goroutine (the serialized epilogue under the
+// parallel engine), so it must be fast and must never block on the
+// simulation's own output; metroserve's adapter copies into a bounded
+// channel and drops on overflow. Set it before the clock starts and
+// leave it in place: with no sink the recording path stays
+// allocation-free exactly as before.
+//
+//metrovet:mutator recorder wiring, before the clock starts
+func (r *Recorder) SetSink(fn func([]Event)) { r.sink = fn }
+
 // Flush drains every registered Buf, in registration order, into the
 // ring. A Flusher component calls it once per cycle at the barrier.
 //
 //metrovet:bounds head wraps to 0 the moment it reaches len(ring), so it always indexes inside the ring
 func (r *Recorder) Flush() {
 	for _, b := range r.bufs {
+		if r.sink != nil && len(b.events) > 0 {
+			r.sink(b.events)
+		}
 		for i := range b.events {
 			r.ring[r.head] = b.events[i]
 			r.head++

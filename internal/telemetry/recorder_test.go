@@ -117,3 +117,40 @@ func TestZeroAllocRecorderSteadyState(t *testing.T) {
 		t.Fatalf("recorder steady state: %d allocs/op, want 0", a)
 	}
 }
+
+// TestRecorderSinkObservesFlushedBatches proves the streaming sink
+// adapter: every flush hands the sink each buffer's events in the same
+// registration-order merge the ring receives, before buffers reset, and
+// the ring's own contents are unchanged by the sink being attached.
+func TestRecorderSinkObservesFlushedBatches(t *testing.T) {
+	r := New(Options{Capacity: 16})
+	b1, b2 := r.NewBuf(), r.NewBuf()
+	var seen []Event
+	r.SetSink(func(events []Event) {
+		// The slice is reused after the call: copy, as the contract says.
+		seen = append(seen, events...)
+	})
+	b2.Emit(ev(1, EvGaugeInFlight, NetworkSource(-1), 0, 3, 0))
+	b1.Emit(ev(1, EvConnSetup, RouterSource(0, 0, 0), 0, 1, 2))
+	r.Flush()
+	b1.Emit(ev(2, EvConnReleased, RouterSource(0, 0, 0), 0, 1, 2))
+	r.Flush()
+	want := []Kind{EvConnSetup, EvGaugeInFlight, EvConnReleased}
+	if len(seen) != len(want) {
+		t.Fatalf("sink saw %d events, want %d", len(seen), len(want))
+	}
+	for i, k := range want {
+		if seen[i].Kind != k {
+			t.Errorf("sink event %d kind = %v, want %v", i, seen[i].Kind, k)
+		}
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != len(want) {
+		t.Fatalf("ring recorded %d events with a sink attached, want %d", len(snap.Events), len(want))
+	}
+	for i := range snap.Events {
+		if snap.Events[i] != seen[i] {
+			t.Errorf("ring event %d differs from sink copy", i)
+		}
+	}
+}
