@@ -60,6 +60,37 @@ func TestSnapshotWritten(t *testing.T) {
 	}
 }
 
+// TestMetricsOverheadRecorded runs the congested-step pair with and
+// without the operational-metrics block and checks the snapshot
+// derives metrics_overhead from it.
+func TestMetricsOverheadRecorded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go test as a subprocess; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	out := clitest.Run(t, "metrobench", "-bench", "CongestedStep$|CongestedStepMetrics$",
+		"-benchtime", "5x", "-pkgs", "metro/internal/netsim", "-dir", dir)
+	if !strings.Contains(string(out), "metrics overhead:") {
+		t.Fatalf("report does not summarize the metrics overhead:\n%s", out)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics *struct {
+			Disabled float64 `json:"disabled_ns_per_cycle"`
+			Enabled  float64 `json:"enabled_ns_per_cycle"`
+		} `json:"metrics_overhead"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Metrics == nil || snap.Metrics.Disabled <= 0 || snap.Metrics.Enabled <= 0 {
+		t.Fatalf("metrics_overhead missing or incomplete: %+v", snap.Metrics)
+	}
+}
+
 // TestFailureModes pins the exit codes: 2 for misuse, 1 when nothing
 // matched (an empty snapshot would poison the trajectory silently).
 func TestFailureModes(t *testing.T) {

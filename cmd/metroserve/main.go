@@ -10,19 +10,32 @@
 //	metroserve [-addr host:port] [-workers n] [-queue n]
 //	           [-cache-bytes n] [-job-timeout d] [-drain-timeout d]
 //	           [-progress n] [-gauge-every n]
+//	           [-log-format text|json] [-debug-addr host:port]
+//
+// Operational surface: /v1/metrics serves the Prometheus text
+// exposition, /v1/healthz is pure liveness, /v1/readyz reports
+// load-aware readiness, and structured logs (one line per request and
+// per job-state transition) go to stderr in the -log-format encoding.
+// -debug-addr opts into a second listener serving net/http/pprof under
+// /debug/pprof/ — kept off the main address so profiling is never
+// exposed by the serving port.
 //
 // The daemon prints one line, `metroserve listening on <addr>`, once
 // the socket is bound (with -addr :0 the line carries the kernel-chosen
-// port — the e2e harness relies on this), and exits 0 after a graceful
-// drain on SIGINT/SIGTERM. See docs/SERVING.md for the HTTP API.
+// port — the e2e harness relies on this; with -debug-addr a
+// `metroserve debug listening on <addr>` line follows), and exits 0
+// after a graceful drain on SIGINT/SIGTERM. See docs/SERVING.md for the
+// HTTP API.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -31,6 +44,31 @@ import (
 
 	"metro/internal/serve"
 )
+
+// newLogger builds the daemon's structured logger for a -log-format
+// value, or returns false for an unknown format.
+func newLogger(format string) (*slog.Logger, bool) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), true
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), true
+	}
+	return nil, false
+}
+
+// debugMux builds the pprof handler tree for -debug-addr. Only the
+// profiling endpoints are mounted — the debug listener deliberately
+// serves nothing else.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7905", "listen address (use :0 for an ephemeral port)")
@@ -41,9 +79,16 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM before in-flight jobs are canceled")
 	progress := flag.Uint64("progress", 0, "cycle period of SSE progress frames (0 selects the metrofuzz default)")
 	gaugeEvery := flag.Uint64("gauge-every", 64, "forward only gauge samples on this cycle grid to SSE subscribers (0 forwards all)")
+	logFormat := flag.String("log-format", "text", "structured log encoding on stderr: text or json")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address serving net/http/pprof under /debug/pprof/ (empty disables)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "metroserve: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	logger, ok := newLogger(*logFormat)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "metroserve: unknown -log-format %q (want text or json)\n", *logFormat)
 		os.Exit(2)
 	}
 
@@ -54,6 +99,7 @@ func main() {
 		JobTimeout:     *jobTimeout,
 		ProgressPeriod: *progress,
 		GaugeEvery:     *gaugeEvery,
+		Logger:         logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -62,6 +108,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("metroserve listening on %s\n", ln.Addr())
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metroserve: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metroserve debug listening on %s\n", dln.Addr())
+		debugSrv = &http.Server{Handler: debugMux()}
+		go debugSrv.Serve(dln)
+	}
 
 	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
@@ -87,6 +145,9 @@ func main() {
 	defer scancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		hs.Close()
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	if drainErr != nil {
 		fmt.Printf("metroserve: drain deadline hit; in-flight jobs were canceled\n")

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,37 @@ import (
 	"metro/internal/clitest"
 	"metro/internal/metrofuzz"
 )
+
+// scrapeMetrics fetches /v1/metrics and returns every sample as
+// "name" or `name{labels}` → value.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	m := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q: %v", line, err)
+		}
+		m[line[:i]] = v
+	}
+	return m
+}
 
 // result mirrors serve.Result's wire shape (decoded, not imported, so
 // this test exercises the JSON contract a real client sees).
@@ -159,6 +191,123 @@ func TestMetroserveErrorStatuses(t *testing.T) {
 	}
 }
 
+// TestMetroserveObservability drives the operational surface of a real
+// subprocess end to end: JSON structured logs on stderr, the
+// /v1/metrics exposition reflecting an executed job, the
+// liveness/readiness split, and pprof answering on the opt-in debug
+// listener (and only there).
+func TestMetroserveObservability(t *testing.T) {
+	srv := clitest.StartServer(t, "-workers", "1", "-log-format", "json", "-debug-addr", "127.0.0.1:0")
+	spec := metrofuzz.EncodeSpec(metrofuzz.Generate(7))
+	resp, body := postSpec(t, srv.URL, spec, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d; body: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Job")
+
+	mm := scrapeMetrics(t, srv.URL)
+	if mm["serve_jobs_executed_total"] != 1 {
+		t.Fatalf("serve_jobs_executed_total = %v, want 1", mm["serve_jobs_executed_total"])
+	}
+	if mm[`serve_admission_total{outcome="enqueued"}`] != 1 {
+		t.Fatalf("enqueued admission = %v, want 1", mm[`serve_admission_total{outcome="enqueued"}`])
+	}
+
+	for _, probe := range []struct {
+		path string
+		want int
+	}{{"/v1/healthz", http.StatusOK}, {"/v1/readyz", http.StatusOK}} {
+		presp, err := http.Get(srv.URL + probe.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, presp.Body)
+		presp.Body.Close()
+		if presp.StatusCode != probe.want {
+			t.Fatalf("%s: status %d, want %d", probe.path, presp.StatusCode, probe.want)
+		}
+	}
+
+	// pprof is absent from the serving port...
+	notHere, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, notHere.Body)
+	notHere.Body.Close()
+	if notHere.StatusCode == http.StatusOK {
+		t.Fatal("pprof answered on the serving port; it must live on -debug-addr only")
+	}
+	// ...and present on the debug listener, whose address the daemon
+	// reports right after the main listen line.
+	var debugAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for debugAddr == "" {
+		for _, line := range strings.Split(srv.Output(), "\n") {
+			if a, ok := strings.CutPrefix(line, "metroserve debug listening on "); ok {
+				debugAddr = a
+			}
+		}
+		if debugAddr == "" {
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never reported the debug address; output:\n%s", srv.Output())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	dresp, err := http.Get("http://" + debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmdline, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || !strings.Contains(string(cmdline), "metroserve") {
+		t.Fatalf("debug pprof: status %d, body %q", dresp.StatusCode, cmdline)
+	}
+
+	// Structured logs: the stderr stream carries a JSON job record for
+	// this run's terminal state. The line lands just after ?wait=1
+	// returns, so poll briefly.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		found := false
+		for _, line := range strings.Split(srv.Output(), "\n") {
+			if !strings.HasPrefix(line, "{") {
+				continue
+			}
+			var rec struct {
+				Msg   string `json:"msg"`
+				Job   string `json:"job"`
+				State string `json:"state"`
+			}
+			if json.Unmarshal([]byte(line), &rec) != nil {
+				continue
+			}
+			if rec.Msg == "job" && rec.Job == id && rec.State == "passed" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no JSON job log for %s; output:\n%s", id, srv.Output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMetroserveBadLogFormat pins the flag-validation exit code.
+func TestMetroserveBadLogFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs a subprocess; skipped in -short mode")
+	}
+	out := clitest.ExitCode(t, 2, "metroserve", "-log-format", "bogus")
+	if !strings.Contains(string(out), "unknown -log-format") {
+		t.Fatalf("exit-2 message: %q", out)
+	}
+}
+
 // TestMetroserveSoak hammers a metroserve subprocess with concurrent
 // submissions for 60 seconds and then proves zero dropped-but-acked
 // jobs: every submission the server acknowledged (200 or 202) must be
@@ -253,5 +402,18 @@ func TestMetroserveSoak(t *testing.T) {
 			}
 			time.Sleep(50 * time.Millisecond)
 		}
+	}
+
+	// The metrics plane must agree that nothing was dropped: every job
+	// admitted to the queue was executed, and with all acked jobs
+	// settled the queue and workers are empty.
+	mm := scrapeMetrics(t, srv.URL)
+	enq, exec := mm[`serve_admission_total{outcome="enqueued"}`], mm["serve_jobs_executed_total"]
+	if enq != exec || exec == 0 {
+		t.Errorf("metrics disagree on drops: enqueued %v, executed %v (want equal and nonzero)", enq, exec)
+	}
+	if mm["serve_queue_depth"] != 0 || mm["serve_jobs_inflight"] != 0 {
+		t.Errorf("metrics after settle: queue_depth %v, inflight %v, want 0/0",
+			mm["serve_queue_depth"], mm["serve_jobs_inflight"])
 	}
 }

@@ -98,9 +98,11 @@ func runEvalIsolation(prog *Program) []Finding {
 // isolation contract is about Eval. Tracer implementations run inside a
 // router's or endpoint's Eval on a worker shard, so their call trees are
 // held to the same contract — a sink observes the simulation, it must
-// not mutate it. Tracer types are detected structurally: the router
-// tracer's four-callback vocabulary, or the endpoint tracer's Message,
-// each with the cycle as its leading uint64 parameter.)
+// not mutate it. Sink types are detected structurally: the router
+// tracer's four-callback vocabulary or the endpoint tracer's Message,
+// each with the cycle as its leading uint64 parameter; and Sink
+// methods with the Recorder streaming-tap shape, one slice parameter
+// and no results.)
 func isolationRoots(prog *Program) []RootedNode {
 	keep := func(p *Package) bool {
 		return isInternal(p.ImportPath) && internalName(p.ImportPath) != "link"
@@ -173,7 +175,29 @@ func tracerRoots(methods map[string]*ast.FuncDecl) []string {
 	if fd := methods["Message"]; fd != nil && tracerShape(fd) && fd.Type.Params.NumFields() >= 4 {
 		roots = append(roots, "Message")
 	}
+	// A Sink with the Recorder streaming-tap shape consumes drained
+	// event batches on the engine's flushing goroutine; like the tracer
+	// callbacks it observes a run in flight and is held to the same
+	// observe-only contract (telemetry.MetricsSink is the canonical
+	// instance).
+	if fd := methods["Sink"]; fd != nil && sinkShape(fd) {
+		roots = append(roots, "Sink")
+	}
 	return roots
+}
+
+// sinkShape reports whether fd has the Recorder streaming-tap shape: a
+// single slice parameter (the drained event batch) and no results.
+func sinkShape(fd *ast.FuncDecl) bool {
+	ft := fd.Type
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		return false
+	}
+	if ft.Params == nil || len(ft.Params.List) != 1 || len(ft.Params.List[0].Names) > 1 {
+		return false
+	}
+	arr, ok := ft.Params.List[0].Type.(*ast.ArrayType)
+	return ok && arr.Len == nil
 }
 
 // tracerShape reports whether fd has the tracer-callback shape: a

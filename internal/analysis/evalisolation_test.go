@@ -232,6 +232,52 @@ func (s *cleanSink) Message(cycle uint64, ep int, kind int, id uint64, a, b int)
 	)
 }
 
+// TestEvalIsolationStreamingSinkFlagsMutation pins the Recorder-tap
+// extension: a method named Sink taking one event-batch slice and
+// returning nothing runs on the engine's flushing goroutine, so its
+// call tree is held to the observe-only contract — tallying into its
+// own fields is fine, mutating a component or package-level state is
+// flagged. Lookalikes (extra params, results) root nothing.
+func TestEvalIsolationStreamingSinkFlagsMutation(t *testing.T) {
+	got := runRule(t, EvalIsolation(), "metro/internal/netsim", map[string]string{
+		"tap.go": `package netsim
+
+type Event struct{ Kind int }
+
+type Comp struct{ n int }
+
+func (c *Comp) Eval(cycle uint64)   {}
+func (c *Comp) Commit(cycle uint64) {}
+
+type bridge struct {
+	seen   int
+	victim *Comp
+}
+
+func (b *bridge) Sink(events []Event) {
+	b.seen += len(events) // own tally: fine
+	b.victim.n++          // mutates a component: flagged
+}
+
+type cleanBridge struct{ seen int }
+
+func (b *cleanBridge) Sink(events []Event) { b.seen += len(events) }
+
+// Lookalikes: wrong shapes, not rooted.
+type notTap struct{ victim *Comp }
+
+func (n *notTap) Sink(events []Event, limit int) { n.victim.n++ }
+
+type alsoNotTap struct{ victim *Comp }
+
+func (n *alsoNotTap) Sink(events []Event) int { n.victim.n++; return 0 }
+`,
+	})
+	wantFindings(t, got, "eval-isolation",
+		[2]any{"tap.go", 17}, // b.victim.n++
+	)
+}
+
 // TestEvalIsolationTracerShapeGuards: lookalike methods — results, a
 // non-cycle first parameter, a partial router vocabulary, or a narrow
 // Message — are not sinks and root nothing.

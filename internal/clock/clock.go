@@ -42,6 +42,9 @@ package clock
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"metro/internal/metrics"
 )
 
 // Component is a clocked element of the simulated system.
@@ -119,6 +122,12 @@ type Engine struct {
 	pool    *pool
 	kernel  Kernel
 	kpool   *kernelPool
+
+	// Operational gauges (see metrics.go). met == nil — the default —
+	// costs one branch per Step.
+	met     *EngineMetrics
+	metN    uint64    // cycles completed since SetMetrics
+	metLast time.Time // previous sampling-grid instant
 }
 
 // New returns an empty engine at cycle 0, in serial mode.
@@ -233,11 +242,10 @@ func (e *Engine) Components() int { return len(e.entries) }
 
 // Step advances the system by one clock cycle.
 func (e *Engine) Step() {
-	if e.kernel != nil {
+	switch {
+	case e.kernel != nil:
 		e.stepKernel()
-		return
-	}
-	if e.workers == 0 {
+	case e.workers == 0:
 		c := e.cycle
 		for i := range e.entries {
 			e.entries[i].comp.Eval(c)
@@ -246,21 +254,25 @@ func (e *Engine) Step() {
 			e.entries[i].comp.Commit(c)
 		}
 		e.cycle++
-		return
+	default:
+		if e.pool == nil {
+			e.pool = newPool(e.workers, e.entries, e.metShardNs())
+		}
+		c := e.cycle
+		timed := e.metTimed()
+		e.pool.phase(phaseEval, c, timed)
+		for _, comp := range e.pool.serial {
+			comp.Eval(c)
+		}
+		e.pool.phase(phaseCommit, c, timed)
+		for _, comp := range e.pool.serial {
+			comp.Commit(c)
+		}
+		e.cycle++
 	}
-	if e.pool == nil {
-		e.pool = newPool(e.workers, e.entries)
+	if e.met != nil {
+		e.metTick()
 	}
-	c := e.cycle
-	e.pool.phase(phaseEval, c)
-	for _, comp := range e.pool.serial {
-		comp.Eval(c)
-	}
-	e.pool.phase(phaseCommit, c)
-	for _, comp := range e.pool.serial {
-		comp.Commit(c)
-	}
-	e.cycle++
 }
 
 // stepKernel advances one cycle on the compiled-kernel path. The serial
@@ -287,13 +299,14 @@ func (e *Engine) stepKernel() {
 		return
 	}
 	if e.kpool == nil {
-		e.kpool = newKernelPool(e.workers, k)
+		e.kpool = newKernelPool(e.workers, k, e.metShardNs())
 	}
-	e.kpool.phase(phaseEval, c)
+	timed := e.metTimed()
+	e.kpool.phase(phaseEval, c, timed)
 	for i := range e.entries {
 		e.entries[i].comp.Eval(c)
 	}
-	e.kpool.phase(phaseCommit, c)
+	e.kpool.phase(phaseCommit, c, timed)
 	for i := range e.entries {
 		e.entries[i].comp.Commit(c)
 	}
@@ -336,10 +349,13 @@ const (
 	phaseCommit
 )
 
-// poolCmd is one phase broadcast to a worker.
+// poolCmd is one phase broadcast to a worker. timed marks a
+// metrics-sampled cycle: the worker brackets each shard's phase with
+// wall-clock reads and publishes the duration to that shard's gauge.
 type poolCmd struct {
 	kind  phaseKind
 	cycle uint64
+	timed bool
 }
 
 // pool is the parallel engine's worker set. Shard count equals the
@@ -351,15 +367,16 @@ type poolCmd struct {
 // coordinator after phase() returns, and to every worker on the next
 // phase broadcast.
 type pool struct {
-	shards  [][]Component // shard index -> components, registration order
-	serial  []Component   // serialized epilogue, registration order
+	shards  [][]Component    // shard index -> components, registration order
+	shardNs []*metrics.Gauge // shard index -> step-time gauge (may be short or nil)
+	serial  []Component      // serialized epilogue, registration order
 	cmd     []chan poolCmd
 	barrier sync.WaitGroup
 	done    sync.WaitGroup
 }
 
-func newPool(workers int, entries []entry) *pool {
-	p := &pool{shards: make([][]Component, workers)}
+func newPool(workers int, entries []entry, shardNs []*metrics.Gauge) *pool {
+	p := &pool{shards: make([][]Component, workers), shardNs: shardNs}
 	for _, en := range entries {
 		if en.shard < 0 {
 			p.serial = append(p.serial, en.comp)
@@ -387,6 +404,10 @@ func (p *pool) worker(i int) {
 	for cmd := range p.cmd[i] {
 		for s := i; s < len(p.shards); s += stride {
 			comps := p.shards[s]
+			var t0 time.Time
+			if cmd.timed && s < len(p.shardNs) {
+				t0 = time.Now() //metrovet:ignore no-wallclock per-shard step-time gauge on sampled cycles; never observable by the model
+			}
 			switch cmd.kind {
 			case phaseEval:
 				for _, c := range comps {
@@ -397,17 +418,32 @@ func (p *pool) worker(i int) {
 					c.Commit(cmd.cycle)
 				}
 			}
+			if cmd.timed && s < len(p.shardNs) {
+				ns := float64(time.Since(t0).Nanoseconds()) //metrovet:ignore no-wallclock per-shard step-time gauge on sampled cycles; never observable by the model
+				publishShardNs(p.shardNs[s], cmd.kind, ns)
+			}
 		}
 		p.barrier.Done()
 	}
 }
 
+// publishShardNs records one phase duration: eval starts the cycle's
+// total (Set), commit completes it (Add), so after a sampled cycle the
+// gauge holds the shard's whole step time.
+func publishShardNs(g *metrics.Gauge, kind phaseKind, ns float64) {
+	if kind == phaseEval {
+		g.Set(ns)
+		return
+	}
+	g.Add(ns)
+}
+
 // phase broadcasts one half-cycle to every worker and waits for all of
 // them to finish it.
-func (p *pool) phase(kind phaseKind, cycle uint64) {
+func (p *pool) phase(kind phaseKind, cycle uint64, timed bool) {
 	p.barrier.Add(len(p.cmd))
 	for _, ch := range p.cmd {
-		ch <- poolCmd{kind: kind, cycle: cycle}
+		ch <- poolCmd{kind: kind, cycle: cycle, timed: timed}
 	}
 	p.barrier.Wait()
 }
@@ -430,14 +466,15 @@ func (p *pool) stop() {
 type kernelPool struct {
 	k       Kernel
 	parts   int
-	bounds  []int // partition p covers units [bounds[p], bounds[p+1])
+	bounds  []int            // partition p covers units [bounds[p], bounds[p+1])
+	shardNs []*metrics.Gauge // partition p -> step-time gauge (may be short or nil)
 	cmd     []chan poolCmd
 	barrier sync.WaitGroup
 	done    sync.WaitGroup
 }
 
-func newKernelPool(parts int, k Kernel) *kernelPool {
-	p := &kernelPool{k: k, parts: parts, bounds: make([]int, parts+1)}
+func newKernelPool(parts int, k Kernel, shardNs []*metrics.Gauge) *kernelPool {
+	p := &kernelPool{k: k, parts: parts, bounds: make([]int, parts+1), shardNs: shardNs}
 	n := k.Units()
 	for i := 0; i <= parts; i++ {
 		p.bounds[i] = i * n / parts
@@ -461,12 +498,20 @@ func (p *kernelPool) worker(i int) {
 	for cmd := range p.cmd[i] {
 		for part := i; part < p.parts; part += stride {
 			lo, hi := p.bounds[part], p.bounds[part+1]
+			var t0 time.Time
+			if cmd.timed && part < len(p.shardNs) {
+				t0 = time.Now() //metrovet:ignore no-wallclock per-partition step-time gauge on sampled cycles; never observable by the model
+			}
 			switch cmd.kind {
 			case phaseEval:
 				p.k.EvalUnits(lo, hi, cmd.cycle)
 			case phaseCommit:
 				p.k.CommitUnits(lo, hi, cmd.cycle)
 				p.k.CommitBatch(part, p.parts, cmd.cycle)
+			}
+			if cmd.timed && part < len(p.shardNs) {
+				ns := float64(time.Since(t0).Nanoseconds()) //metrovet:ignore no-wallclock per-partition step-time gauge on sampled cycles; never observable by the model
+				publishShardNs(p.shardNs[part], cmd.kind, ns)
 			}
 		}
 		p.barrier.Done()
@@ -475,10 +520,10 @@ func (p *kernelPool) worker(i int) {
 
 // phase broadcasts one half-cycle to every kernel worker and waits for all
 // of them to finish it.
-func (p *kernelPool) phase(kind phaseKind, cycle uint64) {
+func (p *kernelPool) phase(kind phaseKind, cycle uint64, timed bool) {
 	p.barrier.Add(len(p.cmd))
 	for _, ch := range p.cmd {
-		ch <- poolCmd{kind: kind, cycle: cycle}
+		ch <- poolCmd{kind: kind, cycle: cycle, timed: timed}
 	}
 	p.barrier.Wait()
 }

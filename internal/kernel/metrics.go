@@ -1,0 +1,15 @@
+package kernel
+
+import "metro/internal/metrics"
+
+// PublishShape sets static-shape gauges (any may be nil) to the
+// compiled plan's dimensions: evaluation units, arena-resident links,
+// and delay-class arenas. The shape is fixed at Compile, so this is a
+// one-shot publish at assembly time, not a sampled metric — netsim
+// calls it when a network is built with engine metrics attached, giving
+// operators the plane size behind the per-partition step-time gauges.
+func (c *Compiled) PublishShape(units, links, arenas *metrics.Gauge) {
+	units.Set(float64(c.Units()))
+	links.Set(float64(c.Links()))
+	arenas.Set(float64(len(c.arenas)))
+}

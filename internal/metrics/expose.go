@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). The output is a pure function of the
+// snapshot: families sorted by name, label sets sorted, histogram
+// buckets cumulative, and no timestamps — the same snapshot always
+// produces the same bytes.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Families {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind.typeName())
+		bw.WriteByte('\n')
+		for _, series := range f.Series {
+			if f.Kind == KindHistogram {
+				writeHistogram(bw, f, series)
+				continue
+			}
+			bw.WriteString(f.Name)
+			writeLabels(bw, series.Labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(series.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ContentType is the HTTP Content-Type for WriteText output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func writeHistogram(bw *bufio.Writer, f FamilySnapshot, s SeriesSnapshot) {
+	for i, upper := range f.Upper {
+		bw.WriteString(f.Name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, s.Labels, formatValue(upper))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(s.Buckets[i], 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(f.Name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, s.Labels, "+Inf")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(s.Count, 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(f.Name)
+	bw.WriteString("_sum")
+	writeLabels(bw, s.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(s.Sum))
+	bw.WriteByte('\n')
+
+	bw.WriteString(f.Name)
+	bw.WriteString("_count")
+	writeLabels(bw, s.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(s.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders {a="x",b="y"} with an optional trailing le bucket
+// label; nothing at all when there are no labels and no le.
+func writeLabels(bw *bufio.Writer, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Name)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// formatValue renders a sample value: integers without a fraction,
+// everything else in Go's shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,416 @@
+// Package metrics is a stdlib-only operational-metrics subsystem:
+// counters, gauges, and fixed-bucket histograms behind a registry with
+// stable registration order, plus a Prometheus-text-format exposition
+// writer whose output is byte-stable given a snapshot.
+//
+// The design follows the same discipline as the simulator's cycle
+// paths: hot-path updates (Counter.Inc/Add, Gauge.Set/Add,
+// Histogram.Observe) are single atomic operations — lock-free and
+// zero-allocation — and every update method is nil-safe, so
+// instrumentation is gated exactly like tracing: a nil handle costs one
+// predictable branch. Registration and label resolution (the *Vec
+// With methods) take locks and may allocate; resolve them once at
+// setup, never per cycle.
+//
+// Determinism: nothing in this package reads the wall clock or ranges
+// over a map. Exposition output is a pure function of a Snapshot —
+// families sorted by name, label sets sorted, no timestamps — so the
+// same snapshot always serializes to the same bytes.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the three metric families.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value that may go up or down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution of observations.
+	KindHistogram
+)
+
+// typeName returns the Prometheus TYPE keyword for the kind.
+func (k Kind) typeName() string {
+	if k == KindCounter {
+		return "counter"
+	}
+	if k == KindGauge {
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; a nil *Counter accepts updates and discards them.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value stored as atomic bits. The
+// zero value is ready to use; a nil *Gauge accepts updates and
+// discards them.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d to the current value (compare-and-swap loop).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds in increasing order; an implicit +Inf bucket catches the
+// rest. A nil *Histogram accepts observations and discards them.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1; last is +Inf
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// Observe records one observation: a linear scan over the (small,
+// fixed) bucket list and three atomic updates — no allocation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels []string // label values, parallel to family.labels
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // func-backed counter/gauge, sampled at Snapshot
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string  // label names
+	buckets []float64 // histogram upper bounds
+
+	mu     sync.Mutex
+	series []*series          // registration order
+	byKey  map[string]*series // lookup only; never ranged over
+}
+
+// child returns (creating on first use) the series for the given label
+// values. Takes the family lock and may allocate — setup path only.
+func (f *family) child(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	s := &series{labels: append([]string(nil), values...)}
+	switch f.kind {
+	case KindCounter:
+		s.c = new(Counter)
+	case KindGauge:
+		s.g = new(Gauge)
+	case KindHistogram:
+		s.h = &Histogram{upper: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+	}
+	f.series = append(f.series, s)
+	f.byKey[key] = s
+	return s
+}
+
+// Registry holds metric families in stable registration order.
+// Registering the same name twice panics: names are a global contract
+// and collisions are programmer error.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family          // registration order
+	byName map[string]*family // lookup only; never ranged over
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, kind Kind, buckets []float64, labelNames []string) *family {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		panic("metrics: duplicate registration of " + name)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("metrics: histogram buckets for " + name + " must be strictly increasing")
+		}
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labelNames...),
+		buckets: append([]float64(nil), buckets...),
+		byKey:   make(map[string]*series),
+	}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, KindCounter, nil, nil).child(nil).c
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, KindGauge, nil, nil).child(nil).g
+}
+
+// Histogram registers and returns an unlabeled histogram with the
+// given strictly increasing upper bounds (an implicit +Inf bucket is
+// appended at exposition).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, KindHistogram, buckets, nil).child(nil).h
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// snapshot time. fn must be safe for concurrent use and monotone.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, KindCounter, nil, nil)
+	f.child(nil).fn = fn
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at
+// snapshot time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, KindGauge, nil, nil)
+	f.child(nil).fn = fn
+}
+
+// CounterVec is a counter family with a fixed label schema.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, KindCounter, nil, labelNames)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Locks and may allocate: resolve once at setup, not per
+// update, on hot paths.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).c }
+
+// GaugeVec is a gauge family with a fixed label schema.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, KindGauge, nil, labelNames)}
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).g }
+
+// HistogramVec is a histogram family with a fixed label schema.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, KindHistogram, buckets, labelNames)}
+}
+
+// With returns the histogram for the given label values, creating it
+// on first use.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).h }
+
+// Label is one name/value pair on a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// SeriesSnapshot is the frozen state of one labeled series.
+type SeriesSnapshot struct {
+	Labels []Label // sorted by name
+
+	// Counter/gauge value. For counters this is the exact count as a
+	// float64 (counts beyond 2^53 would lose precision; the simulator
+	// does not reach them within a process lifetime).
+	Value float64
+
+	// Histogram state. Buckets holds cumulative counts parallel to the
+	// family's upper bounds; the +Inf bucket equals Count.
+	Buckets []uint64
+	Count   uint64
+	Sum     float64
+}
+
+// FamilySnapshot is the frozen state of one metric family.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Upper  []float64 // histogram upper bounds (without +Inf)
+	Series []SeriesSnapshot
+}
+
+// Snapshot is a frozen, plain-value copy of a registry. Exposition is
+// a pure function of a Snapshot.
+type Snapshot struct {
+	Families []FamilySnapshot
+}
+
+// Snapshot freezes the registry: families sorted by name, series
+// sorted by label values, func-backed series sampled now. The result
+// shares no mutable state with the registry.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	snap := &Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		f.mu.Lock()
+		series := append([]*series(nil), f.series...)
+		f.mu.Unlock()
+
+		fs := FamilySnapshot{
+			Name:  f.name,
+			Help:  f.help,
+			Kind:  f.kind,
+			Upper: append([]float64(nil), f.buckets...),
+		}
+		for _, s := range series {
+			ss := SeriesSnapshot{}
+			for i, name := range f.labels {
+				ss.Labels = append(ss.Labels, Label{Name: name, Value: s.labels[i]})
+			}
+			sort.Slice(ss.Labels, func(i, j int) bool { return ss.Labels[i].Name < ss.Labels[j].Name })
+			switch {
+			case s.fn != nil:
+				ss.Value = s.fn()
+			case s.c != nil:
+				ss.Value = float64(s.c.Value())
+			case s.g != nil:
+				ss.Value = s.g.Value()
+			case s.h != nil:
+				var cum uint64
+				ss.Buckets = make([]uint64, len(s.h.upper))
+				for i := range s.h.upper {
+					cum += s.h.counts[i].Load()
+					ss.Buckets[i] = cum
+				}
+				ss.Count = s.h.count.Load()
+				ss.Sum = s.h.sum.Value()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		sort.Slice(fs.Series, func(i, j int) bool {
+			return labelSig(fs.Series[i].Labels) < labelSig(fs.Series[j].Labels)
+		})
+		snap.Families = append(snap.Families, fs)
+	}
+	sort.Slice(snap.Families, func(i, j int) bool { return snap.Families[i].Name < snap.Families[j].Name })
+	return snap
+}
+
+// labelSig is a total order key over a sorted label set.
+func labelSig(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('\xfe')
+		b.WriteString(l.Value)
+		b.WriteByte('\xff')
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildFrozen populates a registry with deterministic values covering
+// every metric kind, label shapes, and escaping.
+func buildFrozen() *Registry {
+	r := NewRegistry()
+	// Registered out of name order on purpose: exposition must sort.
+	r.Gauge("zz_last_gauge", "registered last alphabetically first serialized last").Set(2.5)
+	c := r.Counter("aa_first_total", "a plain counter")
+	c.Add(41)
+	c.Inc()
+	cv := r.CounterVec("jobs_total", "jobs by outcome", "outcome", "engine")
+	cv.With("passed", "reference").Add(7)
+	cv.With("failed", "kernel").Add(1)
+	h := r.Histogram("wait_seconds", "queue wait", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(50)
+	r.GaugeFunc("sampled_gauge", "func-backed", func() float64 { return 1.25 })
+	r.Gauge("esc_gauge", "help with \\ and\nnewline").Set(-3)
+	gv := r.GaugeVec("labeled_gauge", "label escaping", "path")
+	gv.With("a\"b\\c\nd").Set(1)
+	return r
+}
+
+const goldenText = `# HELP aa_first_total a plain counter
+# TYPE aa_first_total counter
+aa_first_total 42
+# HELP esc_gauge help with \\ and\nnewline
+# TYPE esc_gauge gauge
+esc_gauge -3
+# HELP jobs_total jobs by outcome
+# TYPE jobs_total counter
+jobs_total{engine="kernel",outcome="failed"} 1
+jobs_total{engine="reference",outcome="passed"} 7
+# HELP labeled_gauge label escaping
+# TYPE labeled_gauge gauge
+labeled_gauge{path="a\"b\\c\nd"} 1
+# HELP sampled_gauge func-backed
+# TYPE sampled_gauge gauge
+sampled_gauge 1.25
+# HELP wait_seconds queue wait
+# TYPE wait_seconds histogram
+wait_seconds_bucket{le="0.01"} 2
+wait_seconds_bucket{le="0.1"} 2
+wait_seconds_bucket{le="1"} 3
+wait_seconds_bucket{le="+Inf"} 4
+wait_seconds_sum 50.51
+wait_seconds_count 4
+# HELP zz_last_gauge registered last alphabetically first serialized last
+# TYPE zz_last_gauge gauge
+zz_last_gauge 2.5
+`
+
+// TestExpositionGolden pins the exposition format byte-for-byte: given
+// a frozen snapshot the output is fully deterministic — sorted
+// families, sorted label sets, cumulative buckets, no timestamps.
+func TestExpositionGolden(t *testing.T) {
+	r := buildFrozen()
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenText {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, goldenText)
+	}
+}
+
+// TestExpositionStable renders the same registry repeatedly and across
+// rebuilt registries: the bytes never vary.
+func TestExpositionStable(t *testing.T) {
+	var first string
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if err := buildFrozen().Snapshot().WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+		} else if buf.String() != first {
+			t.Fatalf("iteration %d produced different bytes", i)
+		}
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge, and histogram from
+// many goroutines; totals must be exact. Run under -race this is also
+// the data-race proof for the hot paths.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{10, 100})
+
+	const workers = 8
+	const each = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 150))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := g.Value(); got != workers*each {
+		t.Fatalf("gauge = %v, want %d", got, workers*each)
+	}
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("histogram count = %d, want %d", got, workers*each)
+	}
+	snap := r.Snapshot()
+	for _, f := range snap.Families {
+		if f.Name != "h" {
+			continue
+		}
+		inf := f.Series[0].Count
+		last := f.Series[0].Buckets[len(f.Series[0].Buckets)-1]
+		if last > inf {
+			t.Fatalf("cumulative bucket %d exceeds count %d", last, inf)
+		}
+	}
+}
+
+// TestVecIdentity verifies With returns the same child for equal label
+// values, and distinct children otherwise.
+func TestVecIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("v_total", "", "a", "b")
+	if v.With("x", "y") != v.With("x", "y") {
+		t.Fatal("same labels returned distinct counters")
+	}
+	if v.With("x", "y") == v.With("y", "x") {
+		t.Fatal("swapped labels returned the same counter")
+	}
+}
+
+// TestNilSafety pins that nil handles accept updates silently — the
+// disabled-instrumentation gate.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles reported nonzero values")
+	}
+}
+
+// TestRegistryPanics pins the programmer-error contracts.
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("dup", "")
+	mustPanic("duplicate name", func() { r.Gauge("dup", "") })
+	mustPanic("empty name", func() { r.Counter("", "") })
+	mustPanic("unsorted buckets", func() { r.Histogram("hh", "", []float64{1, 1}) })
+	v := r.CounterVec("vv", "", "a")
+	mustPanic("label arity", func() { v.With("x", "y") })
+}
+
+// TestSnapshotIsolation verifies a snapshot is frozen: updates after
+// Snapshot() do not change previously captured values.
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Add(5)
+	snap := r.Snapshot()
+	c.Add(100)
+	if got := snap.Families[0].Series[0].Value; got != 5 {
+		t.Fatalf("snapshot value = %v, want 5", got)
+	}
+}
+
+// TestFuncMetrics verifies func-backed series sample at snapshot time.
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.CounterFunc("fn_total", "", func() float64 { return n })
+	n = 9
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fn_total 9\n") {
+		t.Fatalf("func counter not sampled at snapshot:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package metrics
+
+// raceEnabled reports that the race detector is not active, so the
+// zero-allocation gates run.
+const raceEnabled = false

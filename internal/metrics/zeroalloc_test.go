@@ -1,0 +1,74 @@
+package metrics
+
+import "testing"
+
+// Hot-path benchmarks: one update on a pre-resolved handle, the shape
+// every instrumented cycle path uses. Each must be zero-alloc.
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	r := NewRegistry()
+	g := r.Gauge("bench_gauge", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", []float64{0.001, 0.01, 0.1, 1, 10})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 16))
+	}
+}
+
+func BenchmarkVecResolvedCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.CounterVec("bench_vec_total", "", "outcome").With("passed")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// TestZeroAllocHotPath gates the zero-allocation contract for every
+// hot-path update, matching the simulator's steady-cycle gates.
+// Skipped under -race (instrumentation allocates) and -short.
+func TestZeroAllocHotPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping benchmark-driven gate in short mode")
+	}
+	benches := []struct {
+		name  string
+		bench func(*testing.B)
+	}{
+		{"CounterInc", BenchmarkCounterInc},
+		{"GaugeSet", BenchmarkGaugeSet},
+		{"HistogramObserve", BenchmarkHistogramObserve},
+		{"VecResolvedCounterInc", BenchmarkVecResolvedCounterInc},
+	}
+	for _, bc := range benches {
+		res := testing.Benchmark(bc.bench)
+		if res.AllocsPerOp() != 0 {
+			t.Errorf("%s allocates %d allocs/op (%d bytes/op); hot-path updates must be zero-alloc",
+				bc.name, res.AllocsPerOp(), res.AllocedBytesPerOp())
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"reflect"
 
+	"metro/internal/clock"
 	"metro/internal/fault"
 	"metro/internal/netsim"
 	"metro/internal/nic"
@@ -40,6 +41,13 @@ type Hooks struct {
 	// telemetry. A Recorder wires into at most one network build, so
 	// Hooks carrying one must be used for exactly one Run.
 	Recorder *telemetry.Recorder
+	// EngineMetrics, when set, attaches operational gauges
+	// (cycles-per-second, step time, kernel shape — see
+	// clock.EngineMetrics) to every leg's engine. Unlike Recorder it is
+	// safe to share across legs and Runs: sampling state lives in each
+	// engine, and the gauges are atomic last-writer-wins cells meant as
+	// a live load signal, not a per-run record.
+	EngineMetrics *clock.EngineMetrics
 	// Progress, when set, observes the run between engine steps: every
 	// ProgressPeriod cycles (and once when a leg finishes) it receives
 	// the current cycle and the running offer/completion/delivery
@@ -237,6 +245,7 @@ func runLeg(s Scenario, h Hooks, lc legConfig) (*legOut, error) {
 		ListenTimeout:      uint64(s.ListenTimeout),
 		Workers:            lc.workers,
 		Kernel:             lc.kernel,
+		EngineMetrics:      h.EngineMetrics,
 		OnResult: func(res nic.Result) {
 			inj.onResult(res)
 			if h.DropResult != nil && h.DropResult(res) {

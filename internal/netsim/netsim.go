@@ -99,6 +99,14 @@ type Params struct {
 	// occupancy, open connections, queue depths) when Recorder is set;
 	// 0 samples every cycle.
 	GaugePeriod uint64
+	// EngineMetrics, when set, attaches operational gauges to the cycle
+	// engine: cycles-per-second and step-time sampled on a cycle grid,
+	// per-shard phase times in parallel mode, and — on the kernel path —
+	// the compiled plane's static shape. Purely observational: gauge
+	// writes are atomic stores that never feed back into the model, so
+	// results are bit-identical with metrics on or off (see
+	// clock.EngineMetrics).
+	EngineMetrics *clock.EngineMetrics
 	// Kernel selects the compiled struct-of-arrays execution path: link
 	// pipeline registers live in flat per-delay-class arenas shuttled by
 	// batched copies, and router columns and endpoints are driven as
@@ -224,6 +232,9 @@ func Build(p Params) (*Network, error) {
 		return nil, fmt.Errorf("netsim: Tracer requires the serial engine (Workers = 0), got Workers = %d", p.Workers)
 	}
 	n.Engine.SetWorkers(p.Workers)
+	if p.EngineMetrics != nil {
+		n.Engine.SetMetrics(p.EngineMetrics)
+	}
 
 	// Stage-major shard partitioning: each router column (the logical
 	// router at (stage, index) — every cascade lane — plus its output
@@ -548,6 +559,9 @@ func Build(p Params) (*Network, error) {
 		}
 		n.Compiled = compiled
 		n.Engine.SetKernel(compiled)
+		if m := p.EngineMetrics; m != nil {
+			compiled.PublishShape(m.KernelUnits, m.KernelLinks, m.KernelArenas)
+		}
 	} else {
 		for s := range n.Routers {
 			for j := range n.Routers[s] {

@@ -5,23 +5,49 @@ import (
 	"testing"
 
 	"metro/internal/nic"
+	"metro/internal/telemetry"
 	"metro/internal/topo"
 )
 
-// BenchmarkKernelCongestedSteadyStep measures one whole-network cycle of a
-// congested Figure 3 network on the compiled kernel, in a closed loop:
+// BenchmarkKernelCongestedSteadyStep measures one whole-network cycle
+// of a congested Figure 3 network on the compiled kernel; the Observed
+// variant runs the identical closed loop with the full observability
+// stack attached — engine metrics gauges, the flight recorder, and the
+// telemetry→metrics bridge as its streaming tap — proving the
+// operational layer adds zero allocations to the hot loop.
+//
+// Both share benchSteadyKernel, a closed loop:
 // every completed message is replaced by a fresh one, so the in-flight
 // population — and with it every recycled buffer (sender scratch, parser
 // buffers, the pending freelist, the result and event accumulators) —
 // holds at its steady-state size. After warmup, a measured cycle must stay
 // off the heap entirely; TestZeroAllocKernelCongestedStep gates that.
 func BenchmarkKernelCongestedSteadyStep(b *testing.B) {
+	benchSteadyKernel(b, false)
+}
+
+// BenchmarkKernelCongestedSteadyStepObserved is the alloc half of the
+// BENCH_5 acceptance bar: the congested kernel loop with metrics,
+// recorder, and bridge all live.
+func BenchmarkKernelCongestedSteadyStepObserved(b *testing.B) {
+	benchSteadyKernel(b, true)
+}
+
+func benchSteadyKernel(b *testing.B, observed bool) {
 	completed := 0
-	n, err := Build(Params{
+	p := Params{
 		Spec: topo.Figure3(), Width: 8, DataPipe: 2, LinkDelay: 1,
 		Seed: 71, RetryLimit: 600, ListenTimeout: 200, Kernel: true,
 		OnResult: func(nic.Result) { completed++ },
-	})
+	}
+	bridge := &telemetry.MetricsSink{}
+	if observed {
+		p.EngineMetrics = benchEngineMetrics()
+		rec := telemetry.New(telemetry.Options{})
+		rec.SetSink(bridge.Sink)
+		p.Recorder = rec
+	}
+	n, err := Build(p)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -59,6 +85,10 @@ func BenchmarkKernelCongestedSteadyStep(b *testing.B) {
 		}
 		n.ResetResults()
 	}
+	b.StopTimer()
+	if observed && bridge.Stats().Offered == 0 {
+		b.Fatal("observed run: the telemetry bridge tallied no offered messages")
+	}
 }
 
 // TestZeroAllocKernelCongestedStep asserts the warmed congested kernel
@@ -75,5 +105,23 @@ func TestZeroAllocKernelCongestedStep(t *testing.T) {
 	res := testing.Benchmark(BenchmarkKernelCongestedSteadyStep)
 	if a := res.AllocsPerOp(); a != 0 {
 		t.Fatalf("congested kernel step: %d allocs/op (%d B/op), want 0", a, res.AllocedBytesPerOp())
+	}
+}
+
+// TestZeroAllocKernelCongestedStepObserved asserts the same bar with
+// the full operational-metrics stack live: engine gauges sampling on
+// the cycle grid, the flight recorder draining every cycle, and the
+// telemetry→metrics bridge tapping the drain. Observability that
+// allocates on the hot path would show up here as a regression.
+func TestZeroAllocKernelCongestedStepObserved(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-backed allocation gate; CI runs it in the dedicated -run ZeroAlloc step")
+	}
+	res := testing.Benchmark(BenchmarkKernelCongestedSteadyStepObserved)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("observed congested kernel step: %d allocs/op (%d B/op), want 0", a, res.AllocedBytesPerOp())
 	}
 }

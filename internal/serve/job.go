@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"metro/internal/metrofuzz"
 	"metro/internal/telemetry"
@@ -56,6 +57,11 @@ type job struct {
 	hub  *hub
 	done chan struct{}
 
+	// enqueuedAt is the wallclock instant the job entered the admission
+	// queue; workers subtract it to observe queue wait. Observability
+	// only — it never influences the simulation.
+	enqueuedAt time.Time
+
 	mu        sync.Mutex
 	state     string // StatusQueued or StatusRunning until completion
 	result    *Result
@@ -63,7 +69,7 @@ type job struct {
 	coalesced int    // submissions beyond the first that attached here
 }
 
-func newJob(id, spec string, scn metrofuzz.Scenario, engine Engine, trace bool) *job {
+func newJob(id, spec string, scn metrofuzz.Scenario, engine Engine, trace bool, obs jobObs) *job {
 	return &job{
 		id:     id,
 		spec:   spec,
@@ -71,7 +77,7 @@ func newJob(id, spec string, scn metrofuzz.Scenario, engine Engine, trace bool) 
 		engine: engine,
 		trace:  trace,
 		state:  StatusQueued,
-		hub:    newHub(),
+		hub:    newHub(id, obs),
 		done:   make(chan struct{}),
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -59,6 +60,12 @@ type Config struct {
 	// the result cache (deadline results are never cached, so their
 	// records are the only place to poll them). Defaults to 4096.
 	Retention int
+	// Logger receives structured request and job-state-transition logs
+	// (one line each, carrying the job ID that names the SSE stream and
+	// cache key). Nil discards logs — the library is silent unless the
+	// embedder wires a logger; cmd/metroserve always does, selecting the
+	// handler with its -log-format flag.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retention == 0 {
 		c.Retention = 4096
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -95,6 +105,8 @@ type Server struct {
 	cfg   Config
 	cache *Cache
 	mux   *http.ServeMux
+	met   *serveMetrics
+	log   *slog.Logger
 
 	runCtx    context.Context
 	cancelRun context.CancelFunc
@@ -121,13 +133,17 @@ func New(cfg Config) *Server {
 		jobs:      make(map[string]*job),
 		queue:     make(chan *job, cfg.QueueDepth),
 	}
+	s.log = cfg.Logger
+	s.met = newServeMetrics(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -135,9 +151,29 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: dispatch wrapped in the
+// request-observability layer — one route/code counter increment and
+// one structured log line per request, carrying the job ID when the
+// handler assigned one (the X-Job header names the SSE stream and
+// cache key too).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now() //metrovet:ignore no-wallclock request-latency observability; never reaches simulation state
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start) //metrovet:ignore no-wallclock request-latency observability; never reaches simulation state
+	s.met.httpRequests.With(route, formatCode(sw.code)).Inc()
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("route", route),
+		slog.Int("status", sw.code),
+		slog.Int("bytes", sw.bytes),
+		slog.Int64("dur_us", elapsed.Microseconds()),
+		slog.String("job", sw.Header().Get("X-Job")),
+	)
 }
 
 // Drain shuts the server down gracefully: new submissions are refused
@@ -180,13 +216,21 @@ func (s *Server) worker() {
 		j.state = StatusRunning
 		j.mu.Unlock()
 		s.mu.Unlock()
+		wait := time.Since(j.enqueuedAt) //metrovet:ignore no-wallclock queue-wait histogram; never reaches simulation state
+		s.met.queueWait.Observe(wait.Seconds())
+		s.met.inflight.Add(1)
+		s.log.LogAttrs(s.runCtx, slog.LevelInfo, "job",
+			slog.String("job", j.id), slog.String("state", StatusRunning),
+			slog.Int64("wait_us", wait.Microseconds()))
 		s.runJob(j)
+		s.met.inflight.Add(-1)
 	}
 }
 
 // runJob executes one job under the oracle battery and publishes its
 // result.
 func (s *Server) runJob(j *job) {
+	start := time.Now() //metrovet:ignore no-wallclock job-duration histogram; never reaches simulation state
 	ctx := s.runCtx
 	if s.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
@@ -194,9 +238,22 @@ func (s *Server) runJob(j *job) {
 		defer cancel()
 	}
 	rec := telemetry.New(telemetry.Options{Capacity: s.cfg.TraceCapacity})
-	rec.SetSink(j.gaugeSink(s.cfg.GaugeEvery))
+	// Compose the two streaming taps on the flight recorder: the SSE
+	// gauge forwarder and the telemetry→metrics bridge both observe the
+	// flusher's drain without blocking it.
+	bridge := &telemetry.MetricsSink{
+		Delivered: s.met.simDelivered,
+		Retried:   s.met.simRetried,
+		Failed:    s.met.simFailed,
+	}
+	gauges := j.gaugeSink(s.cfg.GaugeEvery)
+	rec.SetSink(func(events []telemetry.Event) {
+		bridge.Sink(events)
+		gauges(events)
+	})
 	hooks := metrofuzz.Hooks{
 		Recorder:       rec,
+		EngineMetrics:  s.met.engineMetrics,
 		KernelOracle:   j.engine == EngineKernel,
 		ProgressPeriod: s.cfg.ProgressPeriod,
 		Progress: func(cycle uint64, offered, completed, delivered int) bool {
@@ -215,6 +272,23 @@ func (s *Server) runJob(j *job) {
 		s.cache.Put(j.id, body)
 	}
 	j.complete(res, body)
+
+	elapsed := time.Since(start) //metrovet:ignore no-wallclock job-duration histogram; never reaches simulation state
+	s.met.executed.Inc()
+	switch res.Status {
+	case StatusFailed:
+		s.met.durFailed.Observe(elapsed.Seconds())
+	case StatusDeadline:
+		s.met.durDeadline.Observe(elapsed.Seconds())
+	default:
+		s.met.durPassed.Observe(elapsed.Seconds())
+	}
+	s.met.publishJobSim(j.engine, res.Cycles, bridge.Stats())
+	s.log.LogAttrs(s.runCtx, slog.LevelInfo, "job",
+		slog.String("job", j.id), slog.String("state", res.Status),
+		slog.Uint64("cycles", res.Cycles),
+		slog.Int("offered", res.Offered), slog.Int("delivered", res.Delivered),
+		slog.Int64("dur_us", elapsed.Microseconds()))
 
 	s.mu.Lock()
 	s.counters.Executed++
@@ -311,6 +385,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.counters.CacheServed++
 		s.mu.Unlock()
+		s.met.admCacheHit.Inc()
 		w.Header().Set("X-Cache", "hit")
 		var res Result
 		status := StatusPassed
@@ -330,24 +405,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 		s.counters.Coalesced++
 		s.mu.Unlock()
+		s.met.admCoalesced.Inc()
 		w.Header().Set("X-Coalesced", "true")
 	} else {
 		if s.draining {
 			s.counters.RejectedDraining++
 			s.mu.Unlock()
+			s.met.admRejectedDraining.Inc()
 			writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit elsewhere")
 			return
 		}
-		j = newJob(id, spec, scn, engine, trace)
+		j = newJob(id, spec, scn, engine, trace, s.jobObs())
+		j.enqueuedAt = time.Now() //metrovet:ignore no-wallclock queue-wait histogram origin; never reaches simulation state
 		select {
 		case s.queue <- j:
 			s.jobs[id] = j
 			s.queuedNow++
 			s.counters.Enqueued++
 			s.mu.Unlock()
+			s.met.admEnqueued.Inc()
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "job",
+				slog.String("job", id), slog.String("state", StatusQueued),
+				slog.String("engine", string(engine)), slog.Bool("trace", trace))
 		default:
 			s.counters.RejectedFull++
 			s.mu.Unlock()
+			s.met.admRejectedFull.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "queue full (%d jobs deep); retry later", s.cfg.QueueDepth)
 			return
@@ -482,11 +565,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(data, '\n'))
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the pure liveness probe: 200 whenever the process
+// can serve HTTP, regardless of drain or load. Restart-deciders watch
+// this; traffic-routers watch /v1/readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"ok\":true,\"draining\":%v}\n", draining)
+	io.WriteString(w, "{\"ok\":true}\n")
+}
+
+// readyzPayload is the /v1/readyz body.
+type readyzPayload struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	Queued   int  `json:"queued"`
+	Capacity int  `json:"queueDepth"`
+}
+
+// handleReadyz is the readiness probe: 503 while draining (the server
+// is leaving the fleet) or while the admission queue is saturated (the
+// next submission would see 429 — route it elsewhere instead). Distinct
+// from liveness so load balancers can pull a replica without anything
+// restarting it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	p := readyzPayload{
+		Draining: s.draining,
+		Queued:   s.queuedNow,
+		Capacity: s.cfg.QueueDepth,
+	}
+	s.mu.Unlock()
+	p.Ready = !p.Draining && p.Queued < p.Capacity
+	w.Header().Set("Content-Type", "application/json")
+	if !p.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	data, _ := json.Marshal(p)
+	w.Write(append(data, '\n'))
 }

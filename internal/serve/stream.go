@@ -1,13 +1,32 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 
+	"metro/internal/metrics"
 	"metro/internal/telemetry"
 )
+
+// jobObs bundles the observability handles a job's SSE hub reports
+// into: the open-subscription gauge, the dropped-frame counter, and the
+// server log. The zero value is valid (nil metric cells discard
+// updates; a nil logger is replaced with a discard logger), so tests
+// can build hubs bare.
+type jobObs struct {
+	subscribers *metrics.Gauge
+	dropped     *metrics.Counter
+	log         *slog.Logger
+}
+
+// jobObs returns the server's observability handles for a new job.
+func (s *Server) jobObs() jobObs {
+	return jobObs{subscribers: s.met.sseSubscribers, dropped: s.met.sseDropped, log: s.log}
+}
 
 // streamEvent is one SSE frame: an event name and a single-line JSON
 // payload.
@@ -27,13 +46,24 @@ type streamEvent struct {
 //
 // Subscriber channels are bounded; a subscriber that cannot keep up has
 // events dropped rather than stalling the worker — the simulation's
-// epilogue goroutine must never block on a slow client.
+// epilogue goroutine must never block on a slow client. Every dropped
+// frame increments serve_sse_dropped_frames_total, and the first drop
+// on each connection is logged once so a slow client is diagnosable
+// without flooding the log.
 type hub struct {
 	mu      sync.Mutex
-	subs    map[chan streamEvent]struct{}
+	jobID   string
+	obs     jobObs
+	subs    []*subscriber
 	history []streamEvent
 	closed  bool
-	dropped uint64
+	dropped uint64 // total frames dropped across all subscribers
+}
+
+// subscriber is one attached SSE connection.
+type subscriber struct {
+	ch      chan streamEvent
+	dropped uint64 // frames this connection missed; first one is logged
 }
 
 // historyBound caps replayed events per job: at the default progress
@@ -44,8 +74,11 @@ const historyBound = 1024
 // subBuffer is each subscriber's channel depth.
 const subBuffer = 256
 
-func newHub() *hub {
-	return &hub{subs: make(map[chan streamEvent]struct{})}
+func newHub(jobID string, obs jobObs) *hub {
+	if obs.log == nil {
+		obs.log = slog.New(slog.DiscardHandler)
+	}
+	return &hub{jobID: jobID, obs: obs}
 }
 
 // publish sends ev to every subscriber; keep additionally records it in
@@ -63,11 +96,17 @@ func (h *hub) publish(ev streamEvent, keep bool) {
 		}
 		h.history = append(h.history, ev)
 	}
-	for ch := range h.subs {
+	for _, sub := range h.subs {
 		select {
-		case ch <- ev:
+		case sub.ch <- ev:
 		default:
+			sub.dropped++
 			h.dropped++
+			h.obs.dropped.Inc()
+			if sub.dropped == 1 {
+				h.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "sse_slow_subscriber",
+					slog.String("job", h.jobID))
+			}
 		}
 	}
 }
@@ -78,10 +117,11 @@ func (h *hub) close() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.closed = true
-	for ch := range h.subs {
-		close(ch)
-		delete(h.subs, ch)
+	for _, sub := range h.subs {
+		close(sub.ch)
+		h.obs.subscribers.Add(-1)
 	}
+	h.subs = nil
 }
 
 // subscribe returns the replay history and a live channel (nil if the
@@ -94,14 +134,21 @@ func (h *hub) subscribe() (replay []streamEvent, ch chan streamEvent, cancel fun
 	if h.closed {
 		return replay, nil, func() {}
 	}
-	ch = make(chan streamEvent, subBuffer)
-	h.subs[ch] = struct{}{}
-	return replay, ch, func() {
+	sub := &subscriber{ch: make(chan streamEvent, subBuffer)}
+	h.subs = append(h.subs, sub)
+	h.obs.subscribers.Add(1)
+	return replay, sub.ch, func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
-		if _, ok := h.subs[ch]; ok {
-			delete(h.subs, ch)
-			close(ch)
+		for i, have := range h.subs {
+			if have == sub {
+				h.subs[i] = h.subs[len(h.subs)-1]
+				h.subs[len(h.subs)-1] = nil
+				h.subs = h.subs[:len(h.subs)-1]
+				close(sub.ch)
+				h.obs.subscribers.Add(-1)
+				break
+			}
 		}
 	}
 }
